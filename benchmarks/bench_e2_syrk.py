@@ -1,0 +1,85 @@
+"""E2 — the headline SYRK result (Corollary 4.7 + Theorem 5.6).
+
+Measures Q(TBS) and Q(OOC_SYRK) on the simulated machine across N at
+S = 15, checks measured == exact model on every shape, then extends the
+convergence table with the (machine-verified) models up to S = 5050, where
+the A-traffic ratio hits sqrt(2) and the TBS leading constant hits
+1/sqrt(2) to within ~2%.
+
+Shape claims asserted: LB <= Q(TBS) <= Q(OCS) everywhere; the ratio
+increases monotonically toward (k-1)/s; constants converge to the paper's.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.model import ooc_syrk_model, tbs_model
+from repro.analysis.sweep import run_syrk_once
+from repro.config import square_tile_side_for_memory, triangle_side_for_memory
+from repro.core.bounds import syrk_lower_bound
+from repro.utils.fmt import Table, format_int
+
+S_MEASURED = 15
+M_COLS = 16
+NS_MEASURED = [60, 120, 240, 480]
+MODEL_SWEEP = [(15, 20_000), (66, 20_000), (190, 40_000), (465, 60_000), (1275, 100_000), (5050, 200_000)]
+
+
+def run_measured():
+    rows = []
+    for n in NS_MEASURED:
+        tbs = run_syrk_once("tbs", n, M_COLS, S_MEASURED)
+        ocs = run_syrk_once("ocs", n, M_COLS, S_MEASURED)
+        rows.append((n, tbs, ocs))
+    return rows
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_syrk_volumes(once):
+    rows = once(run_measured)
+
+    t = Table(
+        ["N", "lower bnd", "Q TBS", "Q OCS", "A-ratio OCS/TBS", "TBS==model", "OCS==model"],
+        title=f"E2 measured: SYRK at S={S_MEASURED} (k=5, s=3), M={M_COLS}",
+    )
+    prev_ratio = 0.0
+    for n, tbs, ocs in rows:
+        lb = syrk_lower_bound(n, M_COLS, S_MEASURED, form="exact")
+        ratio = ocs.a_loads / tbs.a_loads
+        t.add_row(
+            [n, f"{lb:,.0f}", format_int(tbs.loads), format_int(ocs.loads),
+             f"{ratio:.3f}", str(tbs.loads == tbs.model_loads), str(ocs.loads == ocs.model_loads)]
+        )
+        # shape claims
+        assert lb <= tbs.loads <= ocs.loads
+        assert tbs.loads == tbs.model_loads and ocs.loads == ocs.model_loads
+        assert ratio > prev_ratio - 1e-9
+        prev_ratio = ratio
+    print()
+    print(t.render())
+    assert prev_ratio > 1.25  # approaching (k-1)/s = 4/3 at S=15
+
+    # ---- model-extended convergence to the paper's constants ----------
+    t2 = Table(
+        ["S", "k", "s", "c_A(TBS)", "c_A(OCS)", "ratio", "(k-1)/s", "paper: 0.7071 / 1.0 / 1.4142"],
+        title="E2 extended (exact models, machine-verified at small N)",
+    )
+    mcols = 4
+    last = None
+    for s, n in MODEL_SWEEP:
+        k = triangle_side_for_memory(s)
+        st = square_tile_side_for_memory(s)
+        c_pass = n * (n + 1) // 2
+        tbs_c = (tbs_model(n, mcols, s).loads - c_pass) * math.sqrt(s) / (n * n * mcols)
+        ocs_c = (ooc_syrk_model(n, mcols, s).loads - c_pass) * math.sqrt(s) / (n * n * mcols)
+        ratio = ocs_c / tbs_c
+        t2.add_row([s, k, st, f"{tbs_c:.4f}", f"{ocs_c:.4f}", f"{ratio:.4f}", f"{(k - 1) / st:.4f}", ""])
+        last = (tbs_c, ocs_c, ratio)
+    print()
+    print(t2.render())
+
+    tbs_c, ocs_c, ratio = last
+    assert tbs_c == pytest.approx(1 / math.sqrt(2), rel=0.03)
+    assert ocs_c == pytest.approx(1.0, rel=0.03)
+    assert ratio == pytest.approx(math.sqrt(2), rel=0.02)

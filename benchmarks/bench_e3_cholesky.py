@@ -1,0 +1,106 @@
+"""E3 — the headline Cholesky result (Corollary 4.8 + Theorem 5.7).
+
+Measures Q(LBC) and Q(OOC_CHOL) on the machine at S = 15 (N up to 144 —
+past the LBC/OCC crossover at N ~ 130), checks measured == exact model,
+then extends with models to large N/S where the constants land on
+1/(3 sqrt 2) = 0.2357 (LBC) and 1/3 (OCC), ratio sqrt(2).
+
+Shape claims: LB <= Q(LBC) <= Q(OCC) past the crossover; the crossover
+itself is located and reported; constants converge.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.model import lbc_model, ooc_chol_model
+from repro.analysis.sweep import run_cholesky_once
+from repro.core.bounds import cholesky_lower_bound
+from repro.utils.fmt import Table, format_int
+
+S_MEASURED = 15
+NS_MEASURED = [(96, 8), (144, 12)]
+MODEL_SWEEP = [(15, 4_096), (66, 9_216), (190, 16_384), (465, 36_864), (1275, 65_536)]
+
+
+def run_measured():
+    rows = []
+    for n, b in NS_MEASURED:
+        lbc = run_cholesky_once("lbc", n, S_MEASURED, b=b)
+        occ = run_cholesky_once("occ", n, S_MEASURED)
+        rows.append((n, b, lbc, occ))
+    return rows
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_cholesky_volumes(once):
+    rows = once(run_measured)
+
+    t = Table(
+        ["N", "b", "lower bnd", "Q LBC", "Q OCC", "OCC/LBC", "LBC==model", "OCC==model"],
+        title=f"E3 measured: Cholesky at S={S_MEASURED}",
+    )
+    for n, b, lbc, occ in rows:
+        lb = cholesky_lower_bound(n, S_MEASURED, form="exact")
+        t.add_row(
+            [n, b, f"{lb:,.0f}", format_int(lbc.loads), format_int(occ.loads),
+             f"{occ.loads / lbc.loads:.3f}",
+             str(lbc.loads == lbc.model_loads), str(occ.loads == occ.model_loads)]
+        )
+        assert lb <= lbc.loads
+        assert lbc.loads == lbc.model_loads and occ.loads == occ.model_loads
+    print()
+    print(t.render())
+    # past the crossover LBC wins
+    _, _, lbc144, occ144 = rows[-1]
+    assert lbc144.loads < occ144.loads
+
+    # ---- locate the crossover with the exact models --------------------
+    crossover = None
+    for n in range(64, 400, 16):
+        b = max(d for d in range(1, n + 1) if n % d == 0 and d * d <= n)
+        if lbc_model(n, S_MEASURED, b).loads < ooc_chol_model(n, S_MEASURED).loads:
+            crossover = n
+            break
+    print(f"\nLBC/OCC crossover at S={S_MEASURED}: N ~ {crossover}")
+    assert crossover is not None and 80 <= crossover <= 200
+
+    # ---- model-extended convergence -------------------------------------
+    # The finite-size constants decompose exactly per Section 5.2.2:
+    #   c(LBC) ~ sqrt(S)/(3(k-1))      [TBS downdates, term 3]
+    #          + sqrt(S)/(6b)          [trailing-C reloads, term 4]
+    #          + b sqrt(S)/(2 s N)     [TRSM panels, term 2]
+    #   c(OCC) ~ sqrt(S)/(3s)          [tile rounding of Bereux's 1/3]
+    # and every correction term -> 0 as S, N -> infinity, leaving the
+    # paper's 1/(3 sqrt 2) and 1/3.
+    from repro.config import square_tile_side_for_memory, triangle_side_for_memory
+
+    t2 = Table(
+        ["S", "N", "c(LBC)", "finite target", "c(OCC)", "finite target", "ratio",
+         "paper: 0.2357 / 0.3333 / 1.4142"],
+        title="E3 extended (exact models)",
+    )
+    rows2 = []
+    for s, n in MODEL_SWEEP:
+        b = int(math.isqrt(n))
+        k = triangle_side_for_memory(s)
+        st = square_tile_side_for_memory(s)
+        lbc_c = lbc_model(n, s, b).loads * math.sqrt(s) / n**3
+        occ_c = ooc_chol_model(n, s).loads * math.sqrt(s) / n**3
+        lbc_t = math.sqrt(s) / (3 * (k - 1)) + math.sqrt(s) / (6 * b) + b * math.sqrt(s) / (2 * st * n)
+        occ_t = math.sqrt(s) / (3 * st)
+        t2.add_row([s, n, f"{lbc_c:.4f}", f"{lbc_t:.4f}", f"{occ_c:.4f}", f"{occ_t:.4f}",
+                    f"{occ_c / lbc_c:.4f}", ""])
+        rows2.append((s, n, b, k, st, lbc_c, occ_c, lbc_t, occ_t))
+    print()
+    print(t2.render())
+
+    for s, n, b, k, st, lbc_c, occ_c, lbc_t, occ_t in rows2:
+        assert lbc_c < occ_c
+        assert lbc_c == pytest.approx(lbc_t, rel=0.05), (s, n)
+        assert occ_c == pytest.approx(occ_t, rel=0.02), (s, n)
+        # the finite targets provably tend to the paper constants:
+        assert lbc_t > 1 / (3 * math.sqrt(2)) - 1e-9
+        assert occ_t > 1 / 3 - 1e-9
+    # ratio comfortably past 1.27 on the sweep and -> sqrt(2) analytically
+    assert all(occ_c / lbc_c > 1.27 for (_s, _n, _b, _k, _st, lbc_c, occ_c, _lt, _ot) in rows2)

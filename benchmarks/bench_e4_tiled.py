@@ -1,0 +1,92 @@
+"""E4 — tiled TBS (Section 5.1.4): practicality vs the sqrt(k/(k-1)) penalty.
+
+Measures the tiled variant at small scale (== exact model), then sweeps the
+tile-triangle side k with the models at S = 1275: larger k approaches the
+element version's constant but raises the validity threshold; the paper's
+penalty factor sqrt(k/(k-1)) is recovered from the measured constants.
+
+Shape claims: measured == model; constant(k) decreases with k and tracks
+0.7071 * sqrt(k/(k-1)) within the b-rounding correction; the tiled variant
+applies at N two orders of magnitude below the element version's 2S
+threshold.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.model import tbs_model, tbs_tiled_model
+from repro.analysis.sweep import run_syrk_once
+from repro.config import tiled_tbs_shape_for_memory, triangle_side_for_memory
+from repro.core.tbs_tiled import tiled_leading_constant
+from repro.utils.fmt import Table, format_int
+
+S_MEASURED = 18  # k=3, b=2 fits: 3*4 + 6 = 18
+S_MODEL = 1275
+M_COLS = 4
+
+
+def run_measured():
+    rows = []
+    for n in (24, 48, 96):
+        tiled = run_syrk_once("tiled", n, 3, S_MEASURED, k=3, b=2)
+        rows.append((n, tiled))
+    return rows
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_tiled_tbs(once):
+    rows = once(run_measured)
+
+    t = Table(
+        ["N", "Q tiled-TBS", "== model"],
+        title=f"E4 measured: tiled TBS at S={S_MEASURED} (k=3, b=2)",
+    )
+    for n, tiled in rows:
+        t.add_row([n, format_int(tiled.loads), str(tiled.loads == tiled.model_loads)])
+        assert tiled.loads == tiled.model_loads
+    print()
+    print(t.render())
+
+    # ---- k sweep with models at S = 1275 -------------------------------
+    n = 80_000
+    c_pass = n * (n + 1) // 2
+    t2 = Table(
+        ["k", "b", "c_A(tiled)", "finite target sqrt(S)/((k-1)b)", "paper limit 0.7071*sqrt(k/(k-1))", "threshold N0 ~ k(k-1)b"],
+        title=f"E4 extended: tile-triangle side k at S={S_MODEL}",
+    )
+    consts = []
+    for k in (3, 4, 6, 8, 12):
+        b = tiled_tbs_shape_for_memory(S_MODEL, k)
+        pred = tbs_tiled_model(n, M_COLS, S_MODEL, k=k, b=b)
+        c_a = (pred.loads - c_pass) * math.sqrt(S_MODEL) / (n * n * M_COLS)
+        finite = math.sqrt(S_MODEL) / ((k - 1) * b)
+        limit = tiled_leading_constant(k) / math.sqrt(2)
+        t2.add_row([k, b, f"{c_a:.4f}", f"{finite:.4f}", f"{limit:.4f}", format_int(k * (k - 1) * b)])
+        consts.append((k, c_a, finite, limit))
+    print()
+    print(t2.render())
+
+    for k, c_a, finite, limit in consts:
+        # measured == finite-size target up to lower-order terms ...
+        assert c_a == pytest.approx(finite, rel=0.05), (k, c_a, finite)
+        # ... and the finite target can only sit above the paper's limit
+        # (integer b under-fills memory, never over-fills).
+        assert finite >= limit * 0.999, (k, finite, limit)
+    assert consts[-1][1] < consts[0][1]
+
+    # ---- validity thresholds: tiled vs element --------------------------
+    k_elem = triangle_side_for_memory(S_MODEL)
+    elem_threshold = (k_elem - 1) * k_elem          # c >= k-1 rows of k groups
+    k4_b = tiled_tbs_shape_for_memory(S_MODEL, 4)
+    tiled_threshold = 3 * 4 * k4_b
+    print(
+        f"\nvalidity thresholds at S={S_MODEL}: element TBS needs N >= ~{elem_threshold:,}"
+        f" (~2S), tiled (k=4) needs N >= ~{tiled_threshold:,}"
+    )
+    assert tiled_threshold < elem_threshold / 4
+
+    # element version at huge N still wins on the constant:
+    pred_elem = tbs_model(200_000, M_COLS, S_MODEL)
+    c_elem = (pred_elem.loads - 200_000 * 200_001 // 2) * math.sqrt(S_MODEL) / (200_000**2 * M_COLS)
+    assert c_elem < consts[0][1]

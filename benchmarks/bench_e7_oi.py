@@ -1,0 +1,63 @@
+"""E7 — the operational-intensity roofline (Section 1 + Conclusion claims).
+
+Measures the OI (multiplies per loaded element) of all six schedules on the
+machine and compares each against its class ceiling: ``sqrt(S/2)`` for the
+symmetric kernels (Theorem 4.1 via Lemma 3.1), ``sqrt(S)`` for GEMM/LU.
+
+Shape claims: nothing exceeds its ceiling; TBS achieves a strictly higher
+fraction of its ceiling than OOC_SYRK (whose square tiles are capped a
+factor sqrt(2) short); same for LBC vs OOC_CHOL; the ceilings themselves
+differ by exactly sqrt(2).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.roofline import roofline_rows
+from repro.core.bounds import max_operational_intensity
+from repro.utils.fmt import Table
+
+# N must sit past the LBC/OCC crossover (~130 at S=15) so the Cholesky OI
+# ordering reflects the asymptotic story.
+N, M_COLS, S = 144, 16, 15
+
+
+def run_roofline():
+    return roofline_rows(n=N, mcols=M_COLS, s=S, lbc_b=12)
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_roofline(once):
+    rows = once(run_roofline)
+
+    t = Table(
+        ["schedule", "class", "Q", "mults", "OI", "ceiling", "fraction"],
+        title=f"E7: OI roofline at N={N}, S={S} (mults per loaded element)",
+    )
+    by_name = {}
+    for r in rows:
+        by_name[r.schedule] = r
+        t.add_row(
+            [r.schedule, r.kernel_class, f"{r.q:,}", f"{r.mults:,}",
+             f"{r.oi:.3f}", f"{r.ceiling:.3f}", f"{r.fraction:.3f}"]
+        )
+    print()
+    print(t.render())
+
+    sym = max_operational_intensity(S, "symmetric", "mults")
+    gem = max_operational_intensity(S, "gemm", "mults")
+    print(f"\nceilings: symmetric sqrt(S/2) = {sym:.3f}, gemm sqrt(S) = {gem:.3f}, ratio = {gem / sym:.4f}")
+
+    # nothing above its ceiling (finite-size: comfortably below)
+    for r in rows:
+        assert r.oi <= r.ceiling * 1.0 + 1e-9, r.schedule
+
+    # the paper's ordering claims
+    assert by_name["TBS (syrk)"].oi > by_name["OOC_SYRK"].oi
+    assert by_name["LBC (cholesky)"].oi > by_name["OOC_CHOL"].oi
+    assert gem / sym == pytest.approx(math.sqrt(2.0))
+
+    # TBS exceeds the fraction OOC_SYRK could ever reach of the symmetric
+    # ceiling: OCS's OI is capped by ~s/2 mults per streamed element pair.
+    assert by_name["TBS (syrk)"].fraction > by_name["OOC_SYRK"].fraction + 0.05

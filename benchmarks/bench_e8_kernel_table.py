@@ -1,0 +1,102 @@
+"""E8 — the symmetric-vs-nonsymmetric kernel table (intro's Table-1 framing).
+
+One table, four factorization/multiplication kernels, measured leading
+constants next to the literature's:
+
+    kernel      algorithm        constant x            paper / literature
+    GEMM        square tiles     2 N^2 K / sqrt(S)     2            [folklore]
+    LU          left-looking     N^3 / sqrt(S)         2/3          [Kwasniewski]
+    SYRK        TBS              N^2 M / sqrt(S)       1/sqrt(2)    (Thm 5.6)
+    SYRK        OOC_SYRK         N^2 M / sqrt(S)       1            [Bereux]
+    Cholesky    LBC              N^3 / sqrt(S)         1/(3 sqrt 2) (Thm 5.7)
+    Cholesky    OOC_CHOL         N^3 / sqrt(S)         1/3          [Bereux]
+
+Constants are extracted from exact model predictions at large N (the models
+are integer-equal to machine measurements — asserted here at small N) and
+normalized by the tile-rounding factor so the table shows the S -> infinity
+constant the literature states.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.model import (
+    lbc_model,
+    ooc_chol_model,
+    ooc_gemm_model,
+    ooc_lu_model,
+    ooc_syrk_model,
+    tbs_model,
+)
+from repro.analysis.sweep import run_cholesky_once, run_syrk_once
+from repro.config import square_tile_side_for_memory, triangle_side_for_memory
+from repro.utils.fmt import Table
+
+S = 1275  # k = 50, s = 34: small rounding corrections
+N = 40_000
+M_COLS = 4
+
+
+def extract_constants():
+    k = triangle_side_for_memory(S)
+    s_tile = square_tile_side_for_memory(S)
+    c_pass = N * (N + 1) // 2
+    rows = []
+    # GEMM: streamed traffic 2 N^2 K / s_tile
+    gemm = ooc_gemm_model(N, M_COLS, N, S)
+    gemm_streamed = gemm.loads - N * N
+    rows.append(("GEMM", "square tiles", gemm_streamed * s_tile / (N * N * M_COLS), 2.0))
+    # LU
+    n_lu = 16_384
+    lu = ooc_lu_model(n_lu, S)
+    rows.append(("LU", "left-looking tiles", lu.loads * s_tile / n_lu**3, 2.0 / 3.0))
+    # SYRK
+    tbs = tbs_model(N, M_COLS, S)
+    rows.append(("SYRK", "TBS", (tbs.loads - c_pass) * (k - 1) / (N * N * M_COLS) / math.sqrt(2), 1 / math.sqrt(2)))
+    ocs = ooc_syrk_model(N, M_COLS, S)
+    rows.append(("SYRK", "OOC_SYRK", (ocs.loads - c_pass) * s_tile / (N * N * M_COLS), 1.0))
+    # Cholesky
+    n_ch = 36_864
+    lbc = lbc_model(n_ch, S, 192)
+    rows.append(("Cholesky", "LBC", lbc.loads * (k - 1) / n_ch**3 / math.sqrt(2), 1 / (3 * math.sqrt(2))))
+    occ = ooc_chol_model(n_ch, S)
+    rows.append(("Cholesky", "OOC_CHOL", occ.loads * s_tile / n_ch**3, 1.0 / 3.0))
+    return rows
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_kernel_comparison(once):
+    rows = once(extract_constants)
+
+    t = Table(
+        ["kernel", "algorithm", "measured constant", "literature/paper", "rel err"],
+        title=f"E8: kernel constants x (work)/sqrt(S), extracted at S={S} (tile-normalized)",
+    )
+    for kernel, alg, measured, target in rows:
+        rel = abs(measured - target) / target
+        t.add_row([kernel, alg, f"{measured:.4f}", f"{target:.4f}", f"{rel:.2%}"])
+        # LBC carries O(N^{5/2}) terms that decay like 1/sqrt(N); at the
+        # N affordable here they are ~15% (E3 shows the convergence trend).
+        tol = 0.16 if alg == "LBC" else 0.12
+        assert rel < tol, (kernel, alg, measured, target)
+    print()
+    print(t.render())
+
+    by = {(k2, a): m for k2, a, m, _ in rows}
+    # the sqrt(2) symmetric advantages
+    assert by[("SYRK", "OOC_SYRK")] / by[("SYRK", "TBS")] == pytest.approx(math.sqrt(2), rel=0.08)
+    # LBC's O(N^{5/2}) terms keep its measured constant ~15% high at this N;
+    # the ratio is asserted loosely here and its convergence to sqrt(2) is
+    # E3's dedicated table.
+    assert by[("Cholesky", "OOC_CHOL")] / by[("Cholesky", "LBC")] == pytest.approx(math.sqrt(2), rel=0.15)
+    assert by[("Cholesky", "OOC_CHOL")] / by[("Cholesky", "LBC")] > 1.20
+    # LU does twice the Cholesky-baseline traffic
+    assert by[("LU", "left-looking tiles")] / by[("Cholesky", "OOC_CHOL")] == pytest.approx(2.0, rel=0.05)
+
+    # measured == model ground truth at small, machine-affordable sizes
+    small = run_syrk_once("tbs", 60, 6, 15)
+    assert small.loads == small.model_loads
+    small_c = run_cholesky_once("occ", 36, 15)
+    assert small_c.loads == small_c.model_loads
+    print("\nmodel == machine verified at small N (and across the test suite).")

@@ -1,0 +1,88 @@
+"""E9 — the Hong-Kung motivation (Section 2.1): naive loop nests under LRU.
+
+Runs Algorithm 1 verbatim on the element-granular LRU pebble machine for
+three loop orders and three memory sizes, against the blocked schedules.
+Shape claims: with M > S every naive order pays ~2 loads per multiply; the
+blocked schedules pay ~2/s; all runs produce identical numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.baselines.naive import naive_cholesky_lru, naive_syrk_lru
+from repro.baselines.ooc_chol import ooc_chol
+from repro.baselines.ooc_syrk import ooc_syrk
+from repro.core.tbs import tbs_syrk
+from repro.kernels.flops import syrk_mults
+from repro.kernels.reference import cholesky_reference, syrk_reference
+from repro.utils.fmt import Table, format_int
+from repro.utils.rng import random_spd_matrix, random_tall_matrix
+
+# Thrash conditions for every loop order: 2M + 1 > S (ijk: two A-rows never
+# fit) and 2(i+1) + 1 > S for most i (ikj/kij: a C-column plus an A-column
+# segment never fit).  Tile sides stay >= 2 so blocking has room to win.
+N, M_COLS = 28, 40
+CAPACITIES = [15, 31]
+
+
+def run_sweep():
+    a = random_tall_matrix(N, M_COLS, seed=0)
+    reference = np.tril(syrk_reference(a))
+    out = []
+    for s in CAPACITIES:
+        per = {}
+        for order in ("ijk", "ikj", "kij"):
+            pm, c = naive_syrk_lru(a, capacity=s, order=order)
+            assert np.max(np.abs(np.tril(c) - reference)) < 1e-10
+            per[f"naive {order}"] = pm.loads
+        m = TwoLevelMachine(s)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((N, N)))
+        st = ooc_syrk(m, "A", "C", range(N), range(M_COLS))
+        assert np.max(np.abs(np.tril(m.result("C")) - reference)) < 1e-10
+        per["blocked OCS"] = st.loads
+        m2 = TwoLevelMachine(s)
+        m2.add_matrix("A", a)
+        m2.add_matrix("C", np.zeros((N, N)))
+        st2 = tbs_syrk(m2, "A", "C", range(N), range(M_COLS))
+        assert np.max(np.abs(np.tril(m2.result("C")) - reference)) < 1e-10
+        per["TBS"] = st2.loads
+        out.append((s, per))
+    return out
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_naive_vs_blocked(once):
+    sweep = once(run_sweep)
+    mults = syrk_mults(N, M_COLS)
+
+    t = Table(
+        ["S", "naive ijk", "naive ikj", "naive kij", "blocked OCS", "TBS", "best naive / OCS"],
+        title=f"E9: Q(loads) for Algorithm 1, N={N}, M={M_COLS} (> S: rows don't fit)",
+    )
+    for s, per in sweep:
+        best_naive = min(per[k] for k in per if k.startswith("naive"))
+        t.add_row(
+            [s, format_int(per["naive ijk"]), format_int(per["naive ikj"]),
+             format_int(per["naive kij"]), format_int(per["blocked OCS"]),
+             format_int(per["TBS"]), f"{best_naive / per['blocked OCS']:.2f}"]
+        )
+        # with M > S, naive pays ~2 loads/mult; blocked pays well under 1
+        for k in per:
+            if k.startswith("naive"):
+                assert per[k] / mults > 1.5
+        assert per["blocked OCS"] / mults < 1.0
+        assert per["TBS"] <= per["blocked OCS"]
+    print()
+    print(t.render())
+
+    # naive Cholesky for completeness
+    a = random_spd_matrix(20, seed=1)
+    pm, l = naive_cholesky_lru(a, capacity=15)
+    assert np.max(np.abs(l - cholesky_reference(a))) < 1e-9
+    m = TwoLevelMachine(15)
+    m.add_matrix("A", a)
+    st = ooc_chol(m, "A", range(20))
+    print(f"\nnaive Cholesky (N=20, S=15): Q = {pm.loads:,} vs blocked OOC_CHOL Q = {st.loads:,}")
+    assert pm.loads > st.loads

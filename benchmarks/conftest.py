@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one experiment from DESIGN.md's per-experiment
+index (E1-E9), printing its table(s) to stdout and asserting the paper's
+*shape* claims (who wins, by what factor, where the crossovers are).
+
+pytest-benchmark timing wraps the headline computation of each experiment
+(one round — the quantities measured are deterministic counts, not noisy
+wall-clock samples; the timing is informative only).
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+
+
+def counting_machine(s: int, shapes: dict[str, tuple[int, int]]) -> TwoLevelMachine:
+    m = TwoLevelMachine(s, strict=False, numerics=False)
+    for name, shape in shapes.items():
+        m.add_matrix(name, np.zeros(shape))
+    return m
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

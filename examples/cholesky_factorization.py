@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Out-of-core Cholesky with LBC, end to end: factor, verify, solve.
+
+Scenario: an SPD system A x = b (e.g. a dense kernel/covariance system)
+whose matrix lives in slow memory.  We factor it in place with the paper's
+LBC schedule (Algorithm 5), verify the factor numerically, inspect the
+per-phase I/O decomposition of Section 5.2.2, compare against Bereux's
+left-looking OOC_CHOL, and finally use the factor to solve the system.
+
+Run:  python examples/cholesky_factorization.py
+"""
+
+import numpy as np
+
+from repro import TwoLevelMachine, cholesky_lower_bound, lbc_cholesky, ooc_chol
+from repro.core.lbc import lbc_term_breakdown
+from repro.utils.fmt import Table, banner, format_int
+from repro.utils.rng import random_spd_matrix
+
+N, S, B = 64, 15, 8  # b = sqrt(N) = 8, the paper's block size
+
+
+def main() -> None:
+    print(banner("LBC: Large Block Cholesky (Algorithm 5)"))
+    a = random_spd_matrix(N)
+    rhs = np.arange(1, N + 1, dtype=float)
+
+    # --- factor with LBC on the strict machine --------------------------
+    machine = TwoLevelMachine(S)
+    machine.add_matrix("A", a)
+    stats = lbc_cholesky(machine, "A", range(N), b=B)
+    machine.assert_empty()
+    l = np.tril(machine.result("A"))
+
+    err = np.max(np.abs(l @ l.T - a))
+    print(f"\nN = {N}, S = {S}, block size b = {B} (sqrt(N))")
+    print(f"factor check: max |L L^T - A| = {err:.2e}")
+    assert err < 1e-8
+
+    # --- solve A x = b with the factor ----------------------------------
+    y = np.linalg.solve(l, rhs)           # forward substitution
+    x = np.linalg.solve(l.T, y)           # backward substitution
+    res = np.max(np.abs(a @ x - rhs))
+    print(f"solve  check: max |A x - b|    = {res:.2e}")
+
+    # --- I/O accounting --------------------------------------------------
+    baseline = TwoLevelMachine(S, strict=False, numerics=False)
+    baseline.add_matrix("A", np.zeros((N, N)))
+    occ = ooc_chol(baseline, "A", range(N))
+    lb = cholesky_lower_bound(N, S, form="exact")
+
+    t = Table(["schedule", "Q = loads", "stores", "Q / bound"])
+    t.add_row(["lower bound (Cor 4.8)", f"{lb:,.0f}", "-", "1.000"])
+    t.add_row(["LBC (Algorithm 5)", format_int(stats.loads), format_int(stats.stores), f"{stats.loads / lb:.3f}"])
+    t.add_row(["OOC_CHOL (Bereux)", format_int(occ.loads), format_int(occ.stores), f"{occ.loads / lb:.3f}"])
+    print()
+    print(t.render())
+    print(
+        "\n(at this small N the right-looking C-reload term still dominates;"
+        "\n the LBC advantage appears past the crossover N ~ 130 for S = 15 —"
+        "\n see benchmarks/bench_e3_cholesky.py for the convergence table)"
+    )
+
+    # --- Section 5.2.2 term decomposition -------------------------------
+    decomp_machine = TwoLevelMachine(S, strict=False, numerics=False)
+    decomp_machine.add_matrix("A", np.zeros((N, N)))
+    parts = lbc_term_breakdown(decomp_machine, "A", range(N), b=B)
+    t2 = Table(["LBC phase", "loads", "share"])
+    total = sum(parts.values())
+    for name, label in [("chol", "OOC_CHOL diag blocks (term 1)"),
+                        ("trsm", "OOC_TRSM panels     (term 2)"),
+                        ("syrk", "TBS downdates       (terms 3+4)")]:
+        t2.add_row([label, format_int(parts[name]), f"{parts[name] / total:.1%}"])
+    print()
+    print(t2.render())
+    print("\nthe TBS downdates dominate, as the Section 5.2.2 analysis requires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The Hong-Kung motivation: naive loop nests vs blocked schedules.
+
+Runs Algorithm 1 (SYRK) verbatim under an LRU cache of S elements for three
+loop orders, and compares against the blocked OOC_SYRK and TBS schedules on
+the same machine size.  Once the working set of the inner loops exceeds S,
+the naive orders degenerate toward one load per operand — the observation
+that started the whole communication-avoiding line of work (Section 2.1).
+
+Run:  python examples/pebble_game.py
+"""
+
+import numpy as np
+
+from repro import TwoLevelMachine, naive_syrk_lru, ooc_syrk, tbs_syrk
+from repro.kernels.flops import syrk_mults
+from repro.utils.fmt import Table, banner, format_int
+from repro.utils.rng import random_tall_matrix
+
+N, M, S = 40, 20, 15  # M > S: a row of A cannot stay resident; N past TBS threshold
+
+
+def main() -> None:
+    print(banner("red-blue pebble game: naive LRU vs blocked schedules"))
+    a = random_tall_matrix(N, M)
+    mults = syrk_mults(N, M)
+    print(f"\nC (lower {N}x{N}) += A ({N}x{M}) A^T under S = {S}; {mults:,} multiplies\n")
+
+    t = Table(["schedule", "Q = loads", "loads per multiply"])
+    reference = np.tril(a @ a.T)
+
+    for order in ("ijk", "ikj", "kij"):
+        pm, c = naive_syrk_lru(a, capacity=S, order=order)
+        assert np.max(np.abs(np.tril(c) - reference)) < 1e-10
+        t.add_row([f"naive {order} + LRU", format_int(pm.loads), f"{pm.loads / mults:.3f}"])
+
+    for name, fn in (("OOC_SYRK (blocked)", ooc_syrk), ("TBS (triangle blocks)", tbs_syrk)):
+        m = TwoLevelMachine(S)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((N, N)))
+        stats = fn(m, "A", "C", range(N), range(M))
+        m.assert_empty()
+        assert np.max(np.abs(np.tril(m.result("C")) - reference)) < 1e-10
+        t.add_row([name, format_int(stats.loads), f"{stats.loads / mults:.3f}"])
+
+    print(t.render())
+    print(
+        "\nall five runs produce the identical matrix (verified); only the"
+        "\norder of operations — the schedule — changes the I/O volume."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (see pyproject.toml note)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'I/O-Optimal Algorithms for Symmetric Linear Algebra "
+        "Kernels' (SPAA 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,140 @@
+"""repro — reproduction of "I/O-Optimal Algorithms for Symmetric Linear
+Algebra Kernels" (Beaumont, Eyraud-Dubois, Vérité, Langou; SPAA 2022).
+
+The package provides:
+
+* :mod:`repro.machine` — an instrumented two-level memory machine (fast
+  memory of ``S`` elements, explicit load/evict, exact I/O accounting,
+  NaN-poisoned strict mode);
+* :mod:`repro.core` — the paper's contribution: triangle blocks, indexing
+  families, the TBS and LBC schedules, lower bounds, and the Section 4
+  proof machinery (balanced solutions, P''-optimum);
+* :mod:`repro.baselines` — Bereux's OOC_SYRK / OOC_TRSM / OOC_CHOL, blocked
+  GEMM and LU comparators, and naive LRU loop nests;
+* :mod:`repro.kernels` — in-memory NumPy reference oracles and the
+  operation-set combinatorics (``D(B)``, Prop. 3.4);
+* :mod:`repro.analysis` — exact I/O predictors, operational-intensity
+  rooflines, and sweep harnesses that regenerate every experiment;
+* :mod:`repro.viz` — ASCII renderers for the paper's Figures 1–3.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TwoLevelMachine, tbs_syrk, syrk_lower_bound
+
+    n, mcols, s = 60, 8, 15
+    a = np.random.default_rng(0).standard_normal((n, mcols))
+    m = TwoLevelMachine(s)
+    m.add_matrix("A", a)
+    m.add_matrix("C", np.zeros((n, n)))
+    stats = tbs_syrk(m, "A", "C", range(n), range(mcols))
+    print(stats.q, ">=", syrk_lower_bound(n, mcols, s))
+    np.testing.assert_allclose(np.tril(m.result("C")), np.tril(a @ a.T))
+"""
+
+from .config import (
+    DEFAULT_SEED,
+    MachineConfig,
+    lbc_block_size,
+    square_tile_side_for_memory,
+    tiled_tbs_shape_for_memory,
+    triangle_side_for_memory,
+)
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    MachineError,
+    RedundantLoadError,
+    ReproError,
+    ResidencyError,
+    ScheduleError,
+    VerificationError,
+    WritebackError,
+)
+from .machine import (
+    ExplicitPebbleMachine,
+    FastMemory,
+    IOStats,
+    LRUPebbleMachine,
+    Region,
+    SlowMemory,
+    TwoLevelMachine,
+)
+from .core import (
+    CyclicIndexingFamily,
+    TBSPartition,
+    cholesky_lower_bound,
+    choose_c,
+    lbc_cholesky,
+    max_operational_intensity,
+    plan_partition,
+    syrk_lower_bound,
+    tbs_syrk,
+    tbs_tiled_syrk,
+)
+from .baselines import (
+    naive_cholesky_lru,
+    naive_syrk_lru,
+    ooc_chol,
+    ooc_gemm,
+    ooc_lu,
+    ooc_syrk,
+    ooc_trsm,
+)
+from .kernels import (
+    cholesky_reference,
+    gemm_reference,
+    lu_nopivot_reference,
+    syrk_reference,
+    trsm_right_lower_transpose,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SEED",
+    "MachineConfig",
+    "lbc_block_size",
+    "square_tile_side_for_memory",
+    "tiled_tbs_shape_for_memory",
+    "triangle_side_for_memory",
+    "CapacityError",
+    "ConfigurationError",
+    "MachineError",
+    "RedundantLoadError",
+    "ReproError",
+    "ResidencyError",
+    "ScheduleError",
+    "VerificationError",
+    "WritebackError",
+    "ExplicitPebbleMachine",
+    "FastMemory",
+    "IOStats",
+    "LRUPebbleMachine",
+    "Region",
+    "SlowMemory",
+    "TwoLevelMachine",
+    "CyclicIndexingFamily",
+    "TBSPartition",
+    "cholesky_lower_bound",
+    "choose_c",
+    "lbc_cholesky",
+    "max_operational_intensity",
+    "plan_partition",
+    "syrk_lower_bound",
+    "tbs_syrk",
+    "tbs_tiled_syrk",
+    "naive_cholesky_lru",
+    "naive_syrk_lru",
+    "ooc_chol",
+    "ooc_gemm",
+    "ooc_lu",
+    "ooc_syrk",
+    "ooc_trsm",
+    "cholesky_reference",
+    "gemm_reference",
+    "lu_nopivot_reference",
+    "syrk_reference",
+    "trsm_right_lower_transpose",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``      run the quickstart comparison (TBS vs OOC_SYRK vs bound)
+``figures``   print the paper's Figures 1-3 rendered from live objects
+``sweep``     run a SYRK or Cholesky sweep and print the experiment table
+``constants`` print the before/after constants table and the convergence
+              tables computed from the exact models
+
+Examples
+--------
+::
+
+    python -m repro demo
+    python -m repro figures --n 27 --k 5
+    python -m repro sweep syrk --s 15 --m 8 --ns 60 120 240
+    python -m repro sweep cholesky --s 15 --ns 96 144
+    python -m repro constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .analysis.sweep import run_cholesky_once, run_syrk_once
+from .config import lbc_block_size
+from .core.bounds import literature_bounds_table
+from .utils.fmt import Table, banner, format_float, format_int
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from . import TwoLevelMachine, ooc_syrk, syrk_lower_bound, tbs_syrk
+    from .utils.rng import random_tall_matrix
+
+    n, mcols, s = 60, 8, 15
+    a = random_tall_matrix(n, mcols)
+    print(banner("repro demo: I/O-optimal SYRK"))
+    rows = []
+    for name, fn in (("TBS", tbs_syrk), ("OOC_SYRK", ooc_syrk)):
+        m = TwoLevelMachine(s)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((n, n)))
+        stats = fn(m, "A", "C", range(n), range(mcols))
+        m.assert_empty()
+        err = np.max(np.abs(np.tril(m.result("C")) - np.tril(a @ a.T)))
+        rows.append((name, stats.loads, err))
+    t = Table(["schedule", "Q", "max error vs NumPy"])
+    t.add_row(["lower bound", f"{syrk_lower_bound(n, mcols, s, form='exact'):,.0f}", "-"])
+    for name, q, err in rows:
+        t.add_row([name, format_int(q), f"{err:.2e}"])
+    print(t.render())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .core.partition import plan_partition
+    from .viz.figures import (
+        render_indexing_positions,
+        render_lbc_iteration,
+        render_tbs_layout,
+        render_zones_and_blocks,
+    )
+
+    part = plan_partition(args.n, args.k)
+    if part is None:
+        print(f"n={args.n}, k={args.k}: triangle blocks not applicable (OOC_SYRK fallback)")
+        print(render_tbs_layout(args.n, args.k))
+        return 0
+    print(banner(f"Figure 1 (n={args.n}, k={args.k}, c={part.c})"))
+    print(render_zones_and_blocks(part, blocks=[(0, 0), (1, 0)]))
+    print()
+    print(banner("Figure 2 left"))
+    print(render_indexing_positions(part, min(2, part.c - 1), min(3, part.c - 1)))
+    print()
+    print(banner("Figure 2 right"))
+    print(render_tbs_layout(args.n, args.k))
+    print()
+    print(banner("Figure 3 (N=12, b=3, i=1)"))
+    print(render_lbc_iteration(12, 3, 1))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.kernel == "syrk":
+        t = Table(["N", "alg", "Q", "A-loads", "== model", "Q/bound"])
+        for n in args.ns:
+            for alg in ("tbs", "ocs"):
+                row = run_syrk_once(alg, n, args.m, args.s)
+                t.add_row(
+                    [n, alg, format_int(row.loads), format_int(row.a_loads),
+                     str(row.loads == row.model_loads), f"{row.ratio_to_bound:.3f}"]
+                )
+    else:
+        t = Table(["N", "alg", "Q", "== model", "Q/bound"])
+        for n in args.ns:
+            for alg in ("lbc", "occ"):
+                kw = {"b": lbc_block_size(n)} if alg == "lbc" else {}
+                row = run_cholesky_once(alg, n, args.s, **kw)
+                t.add_row(
+                    [n, alg, format_int(row.loads), str(row.loads == row.model_loads),
+                     f"{row.ratio_to_bound:.3f}"]
+                )
+    print(t.render())
+    return 0
+
+
+def _cmd_constants(_args: argparse.Namespace) -> int:
+    print(banner("the paper's four contributions"))
+    t = Table(["kernel", "quantity", "before", "after", "paper source"])
+    for row in literature_bounds_table():
+        t.add_row(
+            [row["kernel"], row["quantity"], format_float(row["before"]),
+             format_float(row["after"]), row["after_source"]]
+        )
+    print(t.render())
+    print(f"\nsqrt(2) = {math.sqrt(2):.6f}; see benchmarks/ for measured convergence.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart comparison")
+
+    p_fig = sub.add_parser("figures", help="render the paper's figures")
+    p_fig.add_argument("--n", type=int, default=27)
+    p_fig.add_argument("--k", type=int, default=5)
+
+    p_sweep = sub.add_parser("sweep", help="run a volume sweep")
+    p_sweep.add_argument("kernel", choices=["syrk", "cholesky"])
+    p_sweep.add_argument("--s", type=int, default=15)
+    p_sweep.add_argument("--m", type=int, default=8)
+    p_sweep.add_argument("--ns", type=int, nargs="+", default=[60, 120])
+
+    sub.add_parser("constants", help="print the constants tables")
+
+    args = parser.parse_args(argv)
+    return {
+        "demo": _cmd_demo,
+        "figures": _cmd_figures,
+        "sweep": _cmd_sweep,
+        "constants": _cmd_constants,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

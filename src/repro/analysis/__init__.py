@@ -1,0 +1,55 @@
+"""Analysis layer: exact I/O predictors, OI rooflines, the Section 4 optimum
+cross-checks, and the sweep harness that regenerates every experiment."""
+
+from .model import (
+    ooc_syrk_model,
+    ooc_syrk_rect_model,
+    ooc_syrk_strip_model,
+    tbs_model,
+    tbs_tiled_model,
+    ooc_trsm_model,
+    ooc_chol_model,
+    ooc_lu_model,
+    ooc_gemm_model,
+    lbc_model,
+    lbc_term_model,
+    ooc_syr2k_model,
+    tbs_syr2k_model,
+    IOPrediction,
+)
+from .oi import measured_oi, oi_ceiling, oi_gap
+from .lru_replay import LruReplayResult, lru_competitiveness, lru_replay
+from .optimum import numeric_p_doubleprime, verify_theorem41_chain
+from .sweep import SweepRow, run_syrk_once, run_cholesky_once, sweep_syrk, sweep_cholesky
+from .roofline import roofline_rows
+
+__all__ = [
+    "ooc_syrk_model",
+    "ooc_syrk_rect_model",
+    "ooc_syrk_strip_model",
+    "tbs_model",
+    "tbs_tiled_model",
+    "ooc_trsm_model",
+    "ooc_chol_model",
+    "ooc_lu_model",
+    "ooc_gemm_model",
+    "lbc_model",
+    "lbc_term_model",
+    "ooc_syr2k_model",
+    "tbs_syr2k_model",
+    "IOPrediction",
+    "measured_oi",
+    "oi_ceiling",
+    "oi_gap",
+    "LruReplayResult",
+    "lru_competitiveness",
+    "lru_replay",
+    "numeric_p_doubleprime",
+    "verify_theorem41_chain",
+    "SweepRow",
+    "run_syrk_once",
+    "run_cholesky_once",
+    "sweep_syrk",
+    "sweep_cholesky",
+    "roofline_rows",
+]

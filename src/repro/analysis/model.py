@@ -1,0 +1,323 @@
+"""Exact I/O predictors: closed-sum mirrors of every schedule's control flow.
+
+For each algorithm in the library there is a predictor here that computes,
+*without running the machine*, exactly how many elements the schedule loads
+and stores.  The test suite asserts ``measured == predicted`` as integer
+equality for every algorithm on a grid of shapes — any accounting drift
+between a schedule and its analysis breaks loudly.
+
+The predictors deliberately share no code with the schedules: they are
+independent re-derivations of the same sums (per-tile: tile size + streamed
+traffic + solve streams), which is what makes the equality test meaningful.
+
+Asymptotic leading terms (what the paper states) are in
+:mod:`repro.core.bounds`; these exact forms converge to them, and experiment
+benches report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import (
+    square_tile_side_for_memory,
+    tiled_tbs_shape_for_memory,
+    triangle_side_for_memory,
+)
+from ..core.partition import plan_partition
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IOPrediction:
+    """Predicted element traffic of one schedule invocation."""
+
+    loads: int
+    stores: int
+
+    def __add__(self, other: "IOPrediction") -> "IOPrediction":
+        return IOPrediction(self.loads + other.loads, self.stores + other.stores)
+
+    def scaled(self, count: int) -> "IOPrediction":
+        return IOPrediction(self.loads * count, self.stores * count)
+
+
+ZERO = IOPrediction(0, 0)
+
+
+def _blocks(n: int, s: int) -> list[int]:
+    """Block sizes of an ``n``-row range split into ``s``-chunks."""
+    return [min(s, n - lo) for lo in range(0, n, s)]
+
+
+def _tri(x: int) -> int:
+    """Lower-triangle size incl. diagonal: x(x+1)/2."""
+    return x * (x + 1) // 2
+
+
+def _tri_strict(x: int) -> int:
+    """Strictly-lower triangle size: x(x-1)/2."""
+    return x * (x - 1) // 2
+
+
+# --------------------------------------------------------------------- #
+# SYRK family
+# --------------------------------------------------------------------- #
+def ooc_syrk_model(n: int, mcols: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.baselines.ooc_syrk.ooc_syrk`.
+
+    Per diagonal tile of side ``b``: ``tri(b)`` tile loads/stores plus one
+    ``b``-segment per column.  Per off-diagonal tile ``(b_i, b_j)``:
+    ``b_i b_j`` tile loads/stores plus ``(b_i + b_j)`` per column.
+    """
+    t = tile if tile is not None else square_tile_side_for_memory(s)
+    sizes = _blocks(n, t)
+    loads = stores = 0
+    prefix = 0  # sum of earlier block sizes
+    for i, bi in enumerate(sizes):
+        loads += _tri(bi) + mcols * bi
+        stores += _tri(bi)
+        # off-diagonal row: sum_j<i [bi*bj + M(bi+bj)] via prefix sums
+        loads += bi * prefix + mcols * (i * bi + prefix)
+        stores += bi * prefix
+        prefix += bi
+    return IOPrediction(loads, stores)
+
+
+def ooc_syrk_rect_model(ni: int, nj: int, mcols: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`~repro.baselines.ooc_syrk.ooc_syrk_rect`."""
+    t = tile if tile is not None else square_tile_side_for_memory(s)
+    bi_sizes = _blocks(ni, t)
+    bj_sizes = _blocks(nj, t)
+    si, sj = sum(bi_sizes), sum(bj_sizes)
+    ci, cj = len(bi_sizes), len(bj_sizes)
+    # sum_i sum_j [bi*bj + M(bi+bj)] = si*sj + M*(cj*si + ci*sj)
+    loads = si * sj + mcols * (cj * si + ci * sj)
+    stores = si * sj
+    return IOPrediction(loads, stores)
+
+
+def ooc_syrk_strip_model(l: int, prior: int, mcols: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`~repro.baselines.ooc_syrk.ooc_syrk_strip`."""
+    out = ZERO
+    if l == 0:
+        return out
+    if prior:
+        out = out + ooc_syrk_rect_model(l, prior, mcols, s, tile)
+    return out + ooc_syrk_model(l, mcols, s, tile)
+
+
+def tbs_model(n: int, mcols: int, s: int, k: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.core.tbs.tbs_syrk` (Algorithm 4).
+
+    Mirrors the recursion: strip (OOC_SYRK), ``k`` recursive zones, and
+    ``c^2`` blocks each loading ``k(k-1)/2`` C-elements once and ``k``
+    A-elements per column.
+    """
+    kk = k if k is not None else triangle_side_for_memory(s)
+    if kk < 2:
+        raise ConfigurationError(f"S={s} fits no triangle block")
+    return _tbs_model_rec(n, mcols, s, kk)
+
+
+def _tbs_model_rec(n: int, mcols: int, s: int, k: int) -> IOPrediction:
+    part = plan_partition(n, k)
+    if part is None:
+        return ooc_syrk_model(n, mcols, s)
+    out = ZERO
+    if part.leftover:
+        out = out + ooc_syrk_strip_model(part.leftover, part.covered, mcols, s)
+    out = out + _tbs_model_rec(part.c, mcols, s, k).scaled(k)
+    block_loads = _tri_strict(k) + mcols * k
+    block_stores = _tri_strict(k)
+    c2 = part.c * part.c
+    return out + IOPrediction(c2 * block_loads, c2 * block_stores)
+
+
+def tbs_tiled_model(n: int, mcols: int, s: int, k: int = 4, b: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.core.tbs_tiled.tbs_tiled_syrk`."""
+    bb = b if b is not None else tiled_tbs_shape_for_memory(s, k)
+    return _tbs_tiled_rec(n, mcols, s, k, bb)
+
+
+def _tbs_tiled_rec(n: int, mcols: int, s: int, k: int, b: int) -> IOPrediction:
+    n_tiles = n // b
+    part = plan_partition(n_tiles, k) if n_tiles >= 1 else None
+    if part is None:
+        return ooc_syrk_model(n, mcols, s)
+    ckb = part.covered * b
+    out = ZERO
+    if n > ckb:
+        out = out + ooc_syrk_strip_model(n - ckb, ckb, mcols, s)
+    out = out + _tbs_tiled_rec(part.c * b, mcols, s, k, b).scaled(k)
+    # Per block: k(k-1)/2 tiles of b^2 loaded/stored once; k*b streamed per col.
+    block_loads = _tri_strict(k) * b * b + mcols * k * b
+    block_stores = _tri_strict(k) * b * b
+    c2 = part.c * part.c
+    return out + IOPrediction(c2 * block_loads, c2 * block_stores)
+
+
+# --------------------------------------------------------------------- #
+# TRSM / Cholesky / LU / GEMM
+# --------------------------------------------------------------------- #
+def ooc_trsm_model(ntri: int, mrows: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.baselines.ooc_trsm.ooc_trsm`."""
+    t = tile if tile is not None else square_tile_side_for_memory(s)
+    col_sizes = _blocks(ntri, t)
+    # Per-panel sums that do not depend on the panel height:
+    #   sum_j q_j = ntri; sum_j off_j; sum_j off_j q_j; sum_j tri(q_j)
+    sum_off = sum_off_q = sum_tri = 0
+    off = 0
+    for qj in col_sizes:
+        sum_off += off
+        sum_off_q += off * qj
+        sum_tri += _tri(qj)
+        off += qj
+    loads = stores = 0
+    for pi in _blocks(mrows, t):
+        loads += pi * ntri + sum_off * pi + sum_off_q + sum_tri
+        stores += pi * ntri
+    return IOPrediction(loads, stores)
+
+
+def ooc_chol_model(n: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.baselines.ooc_chol.ooc_chol`."""
+    t = tile if tile is not None else square_tile_side_for_memory(s)
+    sizes = _blocks(n, t)
+    total = sum(sizes)
+    nb = len(sizes)
+    loads = stores = 0
+    off_j = 0
+    seen = 0  # sum of sizes up to and including block jb
+    for jb, sj in enumerate(sizes):
+        seen += sj
+        below = total - seen          # sum_{i>j} s_i
+        count_below = nb - 1 - jb
+        loads += _tri(sj) + off_j * sj
+        stores += _tri(sj)
+        # sum over sub-diagonal tiles of this block column via prefix sums
+        loads += sj * below + off_j * (below + count_below * sj) + count_below * _tri(sj)
+        stores += sj * below
+        off_j += sj
+    return IOPrediction(loads, stores)
+
+
+def ooc_lu_model(n: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.baselines.lu.ooc_lu`."""
+    t = tile if tile is not None else square_tile_side_for_memory(s)
+    sizes = _blocks(n, t)
+    offs = [0]
+    for sz in sizes:
+        offs.append(offs[-1] + sz)
+    loads = stores = 0
+    for jb, sj in enumerate(sizes):
+        for ib, si in enumerate(sizes):
+            prior = offs[min(ib, jb)]
+            loads += si * sj + prior * (si + sj)
+            stores += si * sj
+            if ib > jb:
+                loads += _tri(sj)  # streamed U columns of the diagonal tile
+            elif ib < jb:
+                loads += _tri_strict(si)  # streamed L rows (unit diag: no row 0)
+    return IOPrediction(loads, stores)
+
+
+def ooc_gemm_model(n: int, inner: int, p: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.baselines.gemm.ooc_gemm`."""
+    t = tile if tile is not None else square_tile_side_for_memory(s)
+    bi_sizes = _blocks(n, t)
+    bj_sizes = _blocks(p, t)
+    si, sj = sum(bi_sizes), sum(bj_sizes)
+    ci, cj = len(bi_sizes), len(bj_sizes)
+    loads = si * sj + inner * (cj * si + ci * sj)
+    stores = si * sj
+    return IOPrediction(loads, stores)
+
+
+# --------------------------------------------------------------------- #
+# LBC
+# --------------------------------------------------------------------- #
+def lbc_model(n: int, s: int, b: int, syrk: str = "tbs", k: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.core.lbc.lbc_cholesky`."""
+    parts = lbc_term_model(n, s, b, syrk=syrk, k=k)
+    return IOPrediction(
+        parts["chol"].loads + parts["trsm"].loads + parts["syrk"].loads,
+        parts["chol"].stores + parts["trsm"].stores + parts["syrk"].stores,
+    )
+
+
+def lbc_term_model(
+    n: int, s: int, b: int, syrk: str = "tbs", k: int | None = None
+) -> dict[str, IOPrediction]:
+    """Per-phase traffic of LBC (the E6 decomposition)."""
+    if b < 1 or n % b != 0:
+        raise ConfigurationError(f"block size b={b} must divide N={n}")
+    out = {"chol": ZERO, "trsm": ZERO, "syrk": ZERO}
+    nb = n // b
+    for i in range(nb):
+        out["chol"] = out["chol"] + ooc_chol_model(b, s)
+        trailing = n - (i + 1) * b
+        if trailing > 0:
+            out["trsm"] = out["trsm"] + ooc_trsm_model(b, trailing, s)
+            if syrk == "tbs":
+                out["syrk"] = out["syrk"] + tbs_model(trailing, b, s, k=k)
+            elif syrk == "tiled":
+                out["syrk"] = out["syrk"] + tbs_tiled_model(trailing, b, s, k=k or 4)
+            elif syrk == "ocs":
+                out["syrk"] = out["syrk"] + ooc_syrk_model(trailing, b, s)
+            else:
+                raise ConfigurationError(f"unknown syrk engine {syrk!r}")
+    return out
+
+
+# --------------------------------------------------------------------- #
+# SYR2K (the future-work extension; see repro.core.syr2k)
+# --------------------------------------------------------------------- #
+def ooc_syr2k_model(n: int, mcols: int, s: int, tile: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.core.syr2k.ooc_syr2k`."""
+    from ..core.syr2k import syr2k_square_tile_side
+
+    t = tile if tile is not None else syr2k_square_tile_side(s)
+    sizes = _blocks(n, t)
+    loads = stores = 0
+    prefix = 0
+    for i, bi in enumerate(sizes):
+        loads += _tri(bi) + mcols * 2 * bi
+        stores += _tri(bi)
+        loads += bi * prefix + mcols * 2 * (i * bi + prefix)
+        stores += bi * prefix
+        prefix += bi
+    return IOPrediction(loads, stores)
+
+
+def tbs_syr2k_model(n: int, mcols: int, s: int, k: int | None = None) -> IOPrediction:
+    """Exact traffic of :func:`repro.core.syr2k.tbs_syr2k`."""
+    from ..core.syr2k import syr2k_square_tile_side, syr2k_triangle_side_for_memory
+
+    kk = k if k is not None else syr2k_triangle_side_for_memory(s)
+    if kk < 2:
+        raise ConfigurationError(f"S={s} fits no SYR2K triangle block")
+    return _syr2k_model_rec(n, mcols, s, kk)
+
+
+def _syr2k_model_rec(n: int, mcols: int, s: int, k: int) -> IOPrediction:
+    from ..core.syr2k import syr2k_square_tile_side
+
+    part = plan_partition(n, k)
+    if part is None:
+        return ooc_syr2k_model(n, mcols, s)
+    out = ZERO
+    if part.leftover:
+        t = syr2k_square_tile_side(s)
+        l, prior = part.leftover, part.covered
+        rect_loads = rect_stores = 0
+        for bi in _blocks(l, t):
+            for bj in _blocks(prior, t):
+                rect_loads += bi * bj + mcols * 2 * (bi + bj)
+                rect_stores += bi * bj
+        out = out + IOPrediction(rect_loads, rect_stores) + ooc_syr2k_model(l, mcols, s)
+    out = out + _syr2k_model_rec(part.c, mcols, s, k).scaled(k)
+    block_loads = _tri_strict(k) + mcols * 2 * k
+    block_stores = _tri_strict(k)
+    c2 = part.c * part.c
+    return out + IOPrediction(c2 * block_loads, c2 * block_stores)

@@ -1,0 +1,88 @@
+"""Out-of-core left-looking LU without pivoting: the factorization comparator.
+
+Reproduces the non-symmetric factorization constant the paper cites from
+Kwasniewski et al.: ``Q_LU(N) = 2 N^3 / (3 sqrt(S)) + O(N^2)`` — exactly
+twice the Cholesky baseline OCC, and ``2 sqrt(2)`` times the paper's LBC.
+(No pivoting: intended for strictly diagonally dominant inputs; this is an
+I/O study, not a numerics study, and pivoting would not change the volume.)
+
+Schedule: square ``s x s`` tiles processed left-looking by block column.
+Tile ``(ib, jb)`` is loaded once, downdated by streamed column/row pairs
+``L[Ii, t]`` / ``U[t, Ij]`` for all ``t`` left of ``min(ib, jb)``'s block,
+then finalized:
+
+* diagonal tile: resident in-place LU (zero I/O);
+* sub-diagonal tile: solve ``X · U[Ij, Ij] = tile`` streaming *columns* of
+  the already-factored diagonal ``U``;
+* super-diagonal tile: solve ``L[Ii, Ii] · X = tile`` streaming *rows* of
+  the unit-lower diagonal factor.
+
+Memory: ``s^2 + 2s <= S``.
+"""
+
+from __future__ import annotations
+
+from ..config import square_tile_side_for_memory
+from ..errors import ConfigurationError
+from ..machine.machine import TwoLevelMachine
+from ..machine.tracker import IOStats
+from ..sched.ops import (
+    GemmOuterUpdate,
+    LuFactorResident,
+    UnitLowerSolveStep,
+    UpperSolveStep,
+)
+from ..utils.intervals import as_index_array, split_indices
+
+
+def ooc_lu(
+    m: TwoLevelMachine,
+    a: str,
+    rows,
+    tile: int | None = None,
+) -> IOStats:
+    """In-place LU (no pivoting) of ``A[rows, rows]``; returns I/O delta.
+
+    Afterwards the strictly-lower part of ``A[rows, rows]`` holds ``L``
+    (unit diagonal implicit) and the upper part holds ``U``.
+    """
+    rows = as_index_array(rows)
+    before = m.stats.snapshot()
+    s = tile if tile is not None else square_tile_side_for_memory(m.capacity)
+    if s * s + 2 * s > m.capacity:
+        raise ConfigurationError(f"tile {s} too large for S={m.capacity}")
+    blocks = split_indices(rows, s)
+    nb = len(blocks)
+    for jb in range(nb):
+        ij = blocks[jb]
+        for ib in range(nb):
+            ii = blocks[ib]
+            prior = rows[: min(ib, jb) * s]
+            with m.hold(m.tile(a, ii, ij), writeback=True):
+                for t in prior:
+                    seg_l = m.column_segment(a, ii, int(t))
+                    seg_u = m.row_segment(a, int(t), ij)
+                    m.load(seg_l)
+                    m.load(seg_u)
+                    m.compute(GemmOuterUpdate(m, a, a, a, ii, ij, int(t), sign=-1.0))
+                    m.evict(seg_l)
+                    m.evict(seg_u)
+                if ib == jb:
+                    m.compute(LuFactorResident(m, a, ii))
+                elif ib > jb:
+                    # X · U[Ij, Ij] = tile: stream columns of the diagonal U.
+                    for t_local in range(ij.size):
+                        ucol = m.column_segment(a, ij[: t_local + 1], int(ij[t_local]))
+                        m.load(ucol)
+                        m.compute(UpperSolveStep(m, a, a, ii, ij, t_local))
+                        m.evict(ucol)
+                else:
+                    # L[Ii, Ii] · X = tile: stream rows of the unit-lower L.
+                    for t_local in range(ii.size):
+                        if t_local:
+                            lrow = m.row_segment(a, int(ii[t_local]), ii[:t_local])
+                            m.load(lrow)
+                        m.compute(UnitLowerSolveStep(m, a, a, ii, ij, t_local))
+                        if t_local:
+                            m.evict(lrow)
+    return m.stats.diff(before)

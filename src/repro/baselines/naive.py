@@ -1,0 +1,87 @@
+"""Naive three-nested-loop schedules under LRU replacement (experiment E9).
+
+These execute Algorithms 1 and 2 *verbatim* — one element operation at a
+time, in program order — on the :class:`~repro.machine.pebble.LRUPebbleMachine`.
+No blocking, no explicit memory control: the LRU policy decides what stays
+resident.  Once the working set of the inner loops exceeds ``S`` the reuse
+distance blows past the capacity and I/O degenerates toward one load per
+operand per operation — the Hong–Kung motivation for everything else in
+this library.
+
+Loop orders are configurable (``"ijk"``, ``"ikj"``, ``"kij"``) because the
+naive volumes differ noticeably between them; E9 tabulates this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.pebble import LRUPebbleMachine
+from ..utils.checks import check_matrix, check_square
+
+
+def naive_syrk_lru(
+    a: np.ndarray,
+    capacity: int,
+    order: str = "ijk",
+    c: np.ndarray | None = None,
+) -> tuple[LRUPebbleMachine, np.ndarray]:
+    """Run Algorithm 1 element-by-element under LRU; returns (machine, C).
+
+    ``order`` permutes the three loops; all orders compute the identical
+    result (C's lower triangle incl. diagonal).
+    """
+    a = check_matrix("A", a)
+    n, m = a.shape
+    c0 = np.zeros((n, n)) if c is None else check_square("C", c).copy()
+    pm = LRUPebbleMachine(capacity)
+    pm.add_matrix("A", a)
+    pm.add_matrix("C", c0)
+
+    def op(i: int, j: int, k: int) -> None:
+        pm.op_muladd(("C", i, j), ("A", i, k), ("A", j, k))
+
+    if order == "ijk":
+        for i in range(n):
+            for j in range(i + 1):
+                for k in range(m):
+                    op(i, j, k)
+    elif order == "ikj":
+        for i in range(n):
+            for k in range(m):
+                for j in range(i + 1):
+                    op(i, j, k)
+    elif order == "kij":
+        for k in range(m):
+            for i in range(n):
+                for j in range(i + 1):
+                    op(i, j, k)
+    else:
+        raise ConfigurationError(f"unknown loop order {order!r}")
+    pm.flush()
+    return pm, pm.result("C")
+
+
+def naive_cholesky_lru(
+    a: np.ndarray,
+    capacity: int,
+) -> tuple[LRUPebbleMachine, np.ndarray]:
+    """Run Algorithm 2 element-by-element under LRU; returns (machine, L).
+
+    The loop order is Algorithm 2's: for each pivot column ``k``, sqrt the
+    pivot, scale the column, then apply every update ``(i, j, k)``.
+    """
+    a = check_square("A", a)
+    n = a.shape[0]
+    pm = LRUPebbleMachine(capacity)
+    pm.add_matrix("A", a)
+    for k in range(n):
+        pm.op_sqrt(("A", k, k))
+        for i in range(k + 1, n):
+            pm.op_div(("A", i, k), ("A", k, k))
+        for i in range(k + 1, n):
+            for j in range(k + 1, i + 1):
+                pm.op_muladd(("A", i, j), ("A", i, k), ("A", j, k), sign=-1.0)
+    pm.flush()
+    return pm, np.tril(pm.result("A"))

@@ -1,0 +1,76 @@
+"""OOC_TRSM: Bereux's one-tile, narrow-block out-of-core triangular solve.
+
+Solves ``X Lᵀ = B`` in place (``B`` becomes ``X``), where ``L`` is an
+``n x n`` lower triangular matrix and ``B`` has ``M`` rows — the panel
+operation of LBC (``A[I1, I0] <- A[I1, I0] · L⁻ᵀ``).
+
+Schedule: for each ``s x s`` tile of ``X`` (row panel ``I``, block column
+``J``), hold the tile resident and
+
+1. stream, for every already-solved global column ``t`` left of ``J``, the
+   two length-``s`` segments ``X[I, t]`` (final values, reloaded from slow
+   memory) and ``L[J, t]``, applying the rank-1 update
+   ``X[I, J] -= X[I, t] (x) L[J, t]``;
+2. solve against the diagonal block by streaming *rows* of ``L[J, J]`` one
+   at a time (``s(s+1)/2`` extra loads per tile — lower order), never
+   holding a second tile;
+3. write the tile back.
+
+Memory: ``s^2 + 2s <= S``.  I/O volume: ``Q_OCT(n, M) = n^2 M / sqrt(S) +
+O(n M)``, matching the paper's quoted complexity for OCT.
+"""
+
+from __future__ import annotations
+
+from ..config import square_tile_side_for_memory
+from ..errors import ConfigurationError
+from ..machine.machine import TwoLevelMachine
+from ..machine.tracker import IOStats
+from ..sched.ops import OuterColsUpdate, TrsmSolveStep
+from ..utils.intervals import as_index_array, split_indices
+
+
+def ooc_trsm(
+    m: TwoLevelMachine,
+    l: str,
+    x: str,
+    tri_idx,
+    x_rows,
+    tile: int | None = None,
+) -> IOStats:
+    """In-place solve ``X[x_rows, tri_idx] · L[tri_idx, tri_idx]ᵀ = X``.
+
+    ``l`` and ``x`` may name the same matrix (as in LBC, where both are
+    sub-blocks of ``A``); ``tri_idx`` indexes the triangular dimension
+    (columns of ``X``, rows *and* columns of ``L``), ``x_rows`` the solved
+    rows.  Returns the I/O stats delta of this call.
+    """
+    tri_idx = as_index_array(tri_idx)
+    x_rows = as_index_array(x_rows)
+    before = m.stats.snapshot()
+    s = tile if tile is not None else square_tile_side_for_memory(m.capacity)
+    if s * s + 2 * s > m.capacity:
+        raise ConfigurationError(f"tile {s} too large for S={m.capacity}")
+    col_blocks = split_indices(tri_idx, s)
+    for xi in split_indices(x_rows, s):
+        for jb, jcols in enumerate(col_blocks):
+            with m.hold(m.tile(x, xi, jcols), writeback=True):
+                # (1) rank-1 updates with all already-solved columns.
+                for prior in col_blocks[:jb]:
+                    for t in prior:
+                        seg_x = m.column_segment(x, xi, int(t))
+                        seg_l = m.column_segment(l, jcols, int(t))
+                        m.load(seg_x)
+                        m.load(seg_l)
+                        m.compute(
+                            OuterColsUpdate(m, x, x, l, xi, jcols, int(t), int(t), sign=-1.0)
+                        )
+                        m.evict(seg_x)
+                        m.evict(seg_l)
+                # (2) solve against the diagonal block, one L-row at a time.
+                for t_local in range(jcols.size):
+                    lrow = m.row_segment(l, int(jcols[t_local]), jcols[: t_local + 1])
+                    m.load(lrow)
+                    m.compute(TrsmSolveStep(m, x, l, xi, jcols, t_local))
+                    m.evict(lrow)
+    return m.stats.diff(before)

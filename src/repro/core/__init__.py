@@ -1,0 +1,79 @@
+"""The paper's contribution: triangle blocks, indexing families, the TBS and
+LBC algorithms, and the improved lower bounds with their proof machinery."""
+
+from .triangle import (
+    triangle_block,
+    triangle_block_size,
+    side_length,
+    sigma,
+    canonical_triangle,
+    symmetric_footprint_size,
+)
+from .indexing import (
+    IndexingFamily,
+    CyclicIndexingFamily,
+    is_valid_indexing_family,
+    block_row_indices,
+)
+from .partition import TBSPartition, choose_c, plan_partition
+from .bounds import (
+    syrk_lower_bound,
+    cholesky_lower_bound,
+    max_operational_intensity,
+    literature_bounds_table,
+    parallel_cholesky_lower_bound_per_node,
+)
+from .balanced import (
+    BalancedSolution,
+    balanced_solution,
+    balanced_solution_cost,
+    max_ops_bound,
+    solve_p_doubleprime,
+    enumerate_balanced_optimum,
+)
+from .tbs import tbs_syrk, TBSReport
+from .tbs_tiled import tbs_tiled_syrk
+from .lbc import lbc_cholesky
+from .syr2k import (
+    tbs_syr2k,
+    ooc_syr2k,
+    syr2k_reference,
+    syr2k_lower_bound,
+    syr2k_triangle_side_for_memory,
+)
+
+__all__ = [
+    "triangle_block",
+    "triangle_block_size",
+    "side_length",
+    "sigma",
+    "canonical_triangle",
+    "symmetric_footprint_size",
+    "IndexingFamily",
+    "CyclicIndexingFamily",
+    "is_valid_indexing_family",
+    "block_row_indices",
+    "TBSPartition",
+    "choose_c",
+    "plan_partition",
+    "syrk_lower_bound",
+    "cholesky_lower_bound",
+    "max_operational_intensity",
+    "literature_bounds_table",
+    "parallel_cholesky_lower_bound_per_node",
+    "BalancedSolution",
+    "balanced_solution",
+    "balanced_solution_cost",
+    "max_ops_bound",
+    "solve_p_doubleprime",
+    "enumerate_balanced_optimum",
+    "tbs_syrk",
+    "TBSReport",
+    "tbs_tiled_syrk",
+    "lbc_cholesky",
+    "tbs_syr2k",
+    "ooc_syr2k",
+    "syr2k_reference",
+    "syr2k_lower_bound",
+    "syr2k_triangle_side_for_memory",
+]

@@ -1,0 +1,142 @@
+"""Indexing families (Definitions 5.1–5.4, Lemmas 5.3 and 5.5).
+
+The TBS algorithm partitions the off-diagonal part of the result matrix into
+``c^2`` triangle blocks, each taking exactly one element from each of the
+``k(k-1)/2`` square zones.  The block ``B_{i,j}`` is described by its row
+indices, one per zone-row::
+
+    R_{i,j} = { u*c + f_{i,j}(u)  :  0 <= u < k }
+
+where the *indexing family* ``f`` maps ``(i, j, u)`` to a position inside
+zone-row ``u`` subject to ``f_{i,j}(0) = j`` and ``f_{i,j}(1) = i``
+(Definition 5.1).  Blocks are pairwise disjoint iff ``f`` is *valid*
+(Definition 5.2 / Lemma 5.3): two distinct blocks may never agree on two
+different zone-rows.
+
+The paper's concrete construction is the *cyclic* family (Definition 5.4)::
+
+    f_{i,j}(u) = j                       if u == 0
+                 (i + j*(u-1)) mod c     if u >= 1
+
+which is valid whenever ``c >= k-1`` and ``c`` is coprime with every integer
+in ``[2, k-2]`` (Lemma 5.5) — equivalently, coprime with the primorial
+``q = prod(p prime <= k-2)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.primes import is_coprime, primorial_up_to
+
+
+class IndexingFamily:
+    """Base class: a ``(c, k)``-indexing family per Definition 5.1.
+
+    Subclasses implement :meth:`position`; the base class provides block
+    row-index construction, the Definition 5.1 sanity requirements, and
+    exhaustive validity checking (used by tests and by E5).
+    """
+
+    def __init__(self, c: int, k: int):
+        if c < 1 or k < 2:
+            raise ConfigurationError(f"need c >= 1 and k >= 2, got c={c}, k={k}")
+        self.c = int(c)
+        self.k = int(k)
+
+    def position(self, i: int, j: int, u: int) -> int:
+        """``f_{i,j}(u)``: position of block (i,j)'s row inside zone-row u."""
+        raise NotImplementedError  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def check_definition(self) -> None:
+        """Assert the Definition 5.1 anchoring: f(0) = j and f(1) = i."""
+        for i in range(self.c):
+            for j in range(self.c):
+                if self.position(i, j, 0) != j:
+                    raise ConfigurationError(f"f_{{{i},{j}}}(0) = {self.position(i, j, 0)} != j")
+                if self.k >= 2 and self.position(i, j, 1) != i:
+                    raise ConfigurationError(f"f_{{{i},{j}}}(1) = {self.position(i, j, 1)} != i")
+
+    def rows(self, i: int, j: int) -> np.ndarray:
+        """Block ``B_{i,j}``'s row indices ``{u*c + f_{i,j}(u)}`` (Equation 1)."""
+        return np.array(
+            [u * self.c + self.position(i, j, u) for u in range(self.k)], dtype=np.int64
+        )
+
+    def all_rows(self) -> dict[tuple[int, int], np.ndarray]:
+        """Row-index sets of all ``c^2`` blocks."""
+        return {(i, j): self.rows(i, j) for i in range(self.c) for j in range(self.c)}
+
+
+class CyclicIndexingFamily(IndexingFamily):
+    """The paper's cyclic family (Definition 5.4)."""
+
+    def __init__(self, c: int, k: int, *, check: bool = True):
+        super().__init__(c, k)
+        if check and not cyclic_family_is_applicable(c, k):
+            raise ConfigurationError(
+                f"cyclic family needs c >= k-1 and c coprime with [2, k-2]; "
+                f"got c={c}, k={k}"
+            )
+
+    def position(self, i: int, j: int, u: int) -> int:
+        if not (0 <= i < self.c and 0 <= j < self.c and 0 <= u < self.k):
+            raise ConfigurationError(f"indices out of range: i={i}, j={j}, u={u}")
+        if u == 0:
+            return j
+        return (i + j * (u - 1)) % self.c
+
+
+def cyclic_family_is_applicable(c: int, k: int) -> bool:
+    """The Lemma 5.5 precondition: ``c >= k-1`` and ``gcd(c, q) = 1``."""
+    if c < k - 1:
+        return False
+    return is_coprime(c, primorial_up_to(k - 2))
+
+
+def is_valid_indexing_family(family: IndexingFamily) -> bool:
+    """Exhaustive Definition 5.2 check (O(c^4 k^2); for modest c, k).
+
+    A family is valid iff no two *distinct* blocks agree on two different
+    zone-rows.  Implemented via the contrapositive used by Lemma 5.3's
+    proof: for each pair u < v, the map ``(i,j) -> (f(u), f(v))`` must be
+    injective.
+    """
+    c, k = family.c, family.k
+    for u, v in combinations(range(k), 2):
+        seen: dict[tuple[int, int], tuple[int, int]] = {}
+        for i in range(c):
+            for j in range(c):
+                key = (family.position(i, j, u), family.position(i, j, v))
+                if key in seen and seen[key] != (i, j):
+                    return False
+                seen[key] = (i, j)
+    return True
+
+
+def blocks_are_disjoint(family: IndexingFamily) -> bool:
+    """Direct Lemma 5.3 conclusion check: all TB(R_{i,j}) pairwise disjoint.
+
+    Compares the actual element sets (pairs) of every pair of blocks; this
+    is the ground truth the validity predicate must imply.  Exhaustive and
+    slow — test-sized instances only.
+    """
+    from .triangle import triangle_block
+
+    blocks = {
+        key: triangle_block(rows.tolist()) for key, rows in family.all_rows().items()
+    }
+    keys = sorted(blocks)
+    for a, b in combinations(keys, 2):
+        if blocks[a] & blocks[b]:
+            return False
+    return True
+
+
+def block_row_indices(c: int, k: int, i: int, j: int) -> np.ndarray:
+    """Convenience: cyclic-family row indices of block ``(i, j)``."""
+    return CyclicIndexingFamily(c, k).rows(i, j)

@@ -1,0 +1,132 @@
+"""LBC — Large Block Cholesky (Algorithm 5), the paper's optimal Cholesky.
+
+A right-looking blocked factorization with *large* blocks ``b ~ sqrt(N)``:
+
+    for i in 0 .. N/b - 1:
+        I0 = [i*b, (i+1)*b)                # current panel
+        OOC_CHOL( A[I0, I0] )              # (1) factor diagonal block
+        I1 = [(i+1)*b, N)                  # trailing rows
+        OOC_TRSM( A[I0, I0], A[I1, I0] )   # (2) solve panel
+        TBS( A[I1, I0], A[I1, I1], -1 )    # (3) symmetric downdate
+
+The whole point: term (3) — the SYRK downdates — dominates the I/O, and
+TBS performs it at the optimal ``1/sqrt(2S)`` rate.  The Section 5.2.2
+term analysis (experiment E6) gives, for block size ``b``:
+
+    (1) OOC_CHOL:   b^2 N / (3 sqrt(S))
+    (2) OOC_TRSM:   b N^2 / (2 sqrt(S))
+    (3) TBS A-traffic: N^3 / (3 sqrt(2S))
+    (4) C reloads:  N^3 / (6 b)
+
+``b = sqrt(N)`` makes (1), (2), (4) all ``O(N^{5/2})``, leaving
+``Q_LBC = N^3 / (3 sqrt(2 S)) + O(N^{5/2})`` (Theorem 5.7) — a factor
+``sqrt(2)`` below Bereux's OOC_CHOL and matching Corollary 4.8.
+
+The ``syrk`` engine is pluggable (element TBS / tiled TBS / OOC_SYRK); with
+``syrk="ocs"`` the schedule degrades to a right-looking Bereux-style
+variant, which E6 uses as a control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.ooc_chol import ooc_chol
+from ..baselines.ooc_syrk import ooc_syrk
+from ..baselines.ooc_trsm import ooc_trsm
+from ..config import lbc_block_size
+from ..errors import ConfigurationError
+from ..machine.machine import TwoLevelMachine
+from ..machine.tracker import IOStats
+from ..utils.intervals import as_index_array
+from .tbs import tbs_syrk
+from .tbs_tiled import tbs_tiled_syrk
+
+
+def lbc_cholesky(
+    m: TwoLevelMachine,
+    a: str,
+    rows,
+    b: int | None = None,
+    syrk: str = "tbs",
+    k: int | None = None,
+    tile_b: int | None = None,
+) -> IOStats:
+    """In-place Cholesky of ``A[rows, rows]`` via LBC; returns the I/O delta.
+
+    Parameters
+    ----------
+    b:
+        Block (panel) size; must divide ``len(rows)``.  Defaults to the
+        divisor of ``N`` closest to ``sqrt(N)`` (the paper's choice).
+    syrk:
+        Engine for the trailing downdate: ``"tbs"`` (Algorithm 4, the
+        paper's LBC), ``"tiled"`` (Section 5.1.4 variant), or ``"ocs"``
+        (square-tile baseline — yields a right-looking OCC-like control).
+    k, tile_b:
+        Forwarded to the SYRK engine (triangle side / tile side).
+    """
+    rows = as_index_array(rows)
+    n = rows.size
+    if n == 0:
+        raise ConfigurationError("empty row set")
+    if b is None:
+        b = lbc_block_size(n)
+    if b < 1 or n % b != 0:
+        raise ConfigurationError(f"block size b={b} must divide N={n}")
+    if syrk not in ("tbs", "tiled", "ocs"):
+        raise ConfigurationError(f"unknown syrk engine {syrk!r}")
+    before = m.stats.snapshot()
+    nb = n // b
+    for i in range(nb):
+        i0 = rows[i * b : (i + 1) * b]
+        ooc_chol(m, a, i0)
+        if (i + 1) * b < n:
+            i1 = rows[(i + 1) * b :]
+            ooc_trsm(m, a, a, i0, i1)
+            if syrk == "tbs":
+                tbs_syrk(m, a, a, i1, i0, sign=-1.0, k=k)
+            elif syrk == "tiled":
+                tbs_tiled_syrk(m, a, a, i1, i0, sign=-1.0, k=k, b=tile_b)
+            else:
+                ooc_syrk(m, a, a, i1, i0, sign=-1.0)
+    return m.stats.diff(before)
+
+
+def lbc_term_breakdown(
+    m: TwoLevelMachine,
+    a: str,
+    rows,
+    b: int | None = None,
+    syrk: str = "tbs",
+    k: int | None = None,
+) -> dict[str, int]:
+    """Run LBC recording the per-phase load volumes (E6's decomposition).
+
+    Returns loads attributed to the diagonal factorizations (``chol``), the
+    panel solves (``trsm``) and the trailing downdates (``syrk``); the
+    downdate component is further split by matrix role in the caller via
+    ``loads_by_matrix`` when A and C are distinct matrices (inside LBC they
+    are the same matrix, so the split reported here is per-phase only).
+    """
+    rows = as_index_array(rows)
+    n = rows.size
+    if b is None:
+        b = lbc_block_size(n)
+    if b < 1 or n % b != 0:
+        raise ConfigurationError(f"block size b={b} must divide N={n}")
+    out = {"chol": 0, "trsm": 0, "syrk": 0}
+    nb = n // b
+    for i in range(nb):
+        i0 = rows[i * b : (i + 1) * b]
+        out["chol"] += ooc_chol(m, a, i0).loads
+        if (i + 1) * b < n:
+            i1 = rows[(i + 1) * b :]
+            out["trsm"] += ooc_trsm(m, a, a, i0, i1).loads
+            if syrk == "tbs":
+                out["syrk"] += tbs_syrk(m, a, a, i1, i0, sign=-1.0, k=k).loads
+            elif syrk == "tiled":
+                out["syrk"] += tbs_tiled_syrk(m, a, a, i1, i0, sign=-1.0, k=k).loads
+            else:
+                out["syrk"] += ooc_syrk(m, a, a, i1, i0, sign=-1.0).loads
+    return out

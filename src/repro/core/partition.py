@@ -1,0 +1,167 @@
+"""Planning the TBS decomposition of the result matrix (Section 5.1.1).
+
+Given a (sub)matrix of ``n`` rows and a triangle side ``k``, the plan
+chooses the zone size ``c`` (largest integer coprime with the primorial
+``q`` below ``n/k``; Lemma 5.5), and fixes the geometry:
+
+* ``k`` *zone-row groups* of ``c`` consecutive rows each (local indices
+  ``[u*c, (u+1)*c)``), covering the first ``c*k`` rows;
+* ``c^2`` *triangle blocks*, block ``(i,j)`` taking row ``u*c + f_{i,j}(u)``
+  from group ``u`` (cyclic indexing family) — these tile all inter-group
+  subdiagonal pairs, i.e. the ``k(k-1)/2`` square zones of Figure 1;
+* the *leftover strip* of ``l = n - c*k`` trailing rows (handled by
+  OOC_SYRK, Figure 2 right);
+* the ``k`` *diagonal zones* (intra-group pairs), handled recursively.
+
+``plan_partition`` returns ``None`` when ``c < k-1`` (the Lemma 5.5
+precondition fails), in which case Algorithm 4 falls back to OOC_SYRK.
+The class also carries exhaustive self-checks used by the tests and by
+experiment E5 (disjointness + exact cover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.primes import largest_coprime_below, primorial_up_to
+from .indexing import CyclicIndexingFamily
+
+
+def choose_c(n: int, k: int) -> int:
+    """Largest ``c <= n/k`` coprime with ``q = primorial(k-2)``; 0 if none."""
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    bound = n // k
+    if bound < 1:
+        return 0
+    return largest_coprime_below(bound, primorial_up_to(k - 2))
+
+
+@dataclass
+class TBSPartition:
+    """The concrete decomposition TBS uses at one recursion level."""
+
+    n: int
+    k: int
+    c: int
+    family: CyclicIndexingFamily = field(repr=False)
+
+    @property
+    def covered(self) -> int:
+        """Rows covered by the zone groups: ``c * k``."""
+        return self.c * self.k
+
+    @property
+    def leftover(self) -> int:
+        """Strip height ``l = n - c*k``."""
+        return self.n - self.covered
+
+    def group(self, u: int) -> np.ndarray:
+        """Local row indices of zone-row group ``u``."""
+        if not 0 <= u < self.k:
+            raise ConfigurationError(f"group index {u} out of range [0, {self.k})")
+        return np.arange(u * self.c, (u + 1) * self.c, dtype=np.int64)
+
+    def groups(self) -> list[np.ndarray]:
+        return [self.group(u) for u in range(self.k)]
+
+    def strip(self) -> np.ndarray:
+        """Local row indices of the leftover strip."""
+        return np.arange(self.covered, self.n, dtype=np.int64)
+
+    def block_rows(self, i: int, j: int) -> np.ndarray:
+        """Local row indices of triangle block ``B_{i,j}`` (Equation 1)."""
+        return self.family.rows(i, j)
+
+    def iter_blocks(self):
+        """Yield ``((i, j), rows)`` for all ``c^2`` blocks."""
+        for i in range(self.c):
+            for j in range(self.c):
+                yield (i, j), self.block_rows(i, j)
+
+    # ------------------------------------------------------------------ #
+    # exhaustive self-checks (test-sized instances)
+    # ------------------------------------------------------------------ #
+    def validate_blocks_disjoint(self) -> bool:
+        """All ``c^2`` triangle blocks are pairwise element-disjoint."""
+        seen: set[tuple[int, int]] = set()
+        for _, rows in self.iter_blocks():
+            rs = sorted(int(r) for r in rows)
+            for a_idx, r in enumerate(rs):
+                for rp in rs[:a_idx]:
+                    if (r, rp) in seen:
+                        return False
+                    seen.add((r, rp))
+        return True
+
+    def validate_exact_cover(self) -> bool:
+        """Blocks cover *exactly* the inter-group subdiagonal pairs.
+
+        Together with the recursion (intra-group pairs) and the strip, this
+        is the proof obligation that TBS computes every element of C once.
+        """
+        covered: set[tuple[int, int]] = set()
+        for _, rows in self.iter_blocks():
+            rs = sorted(int(r) for r in rows)
+            for a_idx, r in enumerate(rs):
+                for rp in rs[:a_idx]:
+                    if (r, rp) in covered:
+                        return False
+                    covered.add((r, rp))
+        expected: set[tuple[int, int]] = set()
+        for u in range(self.k):
+            for v in range(u):
+                for r in self.group(u):
+                    for rp in self.group(v):
+                        expected.add((int(r), int(rp)))
+        return covered == expected
+
+
+def plan_partition(n: int, k: int) -> TBSPartition | None:
+    """Build the TBS plan for ``n`` rows with triangle side ``k``.
+
+    Returns ``None`` when the triangle-block approach is not applicable
+    (``c < k - 1``; Algorithm 4 then calls OOC_SYRK on everything).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    c = choose_c(n, k)
+    if c < k - 1 or c < 1:
+        return None
+    family = CyclicIndexingFamily(c, k)
+    return TBSPartition(n=n, k=k, c=c, family=family)
+
+
+def recursion_profile(n: int, k: int) -> list[dict[str, int | str]]:
+    """The TBS recursion tree as flat records (depth, n, c, l, mode).
+
+    Mirrors Algorithm 4's control flow without running it; used by E5 and
+    the model predictor.  Each level's ``k`` recursive calls are identical
+    (same ``c``), so one record per depth suffices.
+    """
+    out: list[dict[str, int | str]] = []
+    depth = 0
+    width = 1  # number of identical subproblems at this depth
+    while True:
+        part = plan_partition(n, k)
+        if part is None:
+            out.append({"depth": depth, "n": n, "c": 0, "l": n, "mode": "ooc_syrk", "count": width})
+            return out
+        out.append(
+            {
+                "depth": depth,
+                "n": n,
+                "c": part.c,
+                "l": part.leftover,
+                "mode": "triangle_blocks",
+                "count": width,
+            }
+        )
+        n = part.c
+        width *= k
+        depth += 1

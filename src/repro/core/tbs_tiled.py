@@ -1,0 +1,139 @@
+"""Tiled TBS (Section 5.1.4): triangle blocks of ``b x b`` tiles.
+
+The element-level TBS needs ``N >= 2S`` before its triangle blocks apply —
+so large that "half a column does not fit in memory".  The tiled variant
+trades a ``sqrt(k/(k-1))`` factor for practicality: memory holds a triangle
+of ``k(k-1)/2`` *tiles* of side ``b`` plus one streamed column of ``k``
+length-``b`` segments::
+
+    b^2 k(k-1)/2 + k b <= S
+
+Blocks now take one *tile-row* from each of the ``k`` groups of ``c``
+tile-rows (same cyclic indexing family, applied at tile granularity), and
+the per-column update becomes ``k(k-1)/2`` rank-1 outer products.  The
+leading A-traffic is ``N^2 M / ((k-1) b)``; with ``b = sqrt(2S / (k(k-1)))``
+this is ``(N^2 M / sqrt(2S)) * sqrt(k/(k-1))`` (the paper's Section 5.1.4
+bound) and the validity threshold drops to ``N >= ~ sqrt(2S) * k`` — E4
+measures both effects.
+
+Intra-group tile pairs recurse; the leftover strip (rows beyond ``c*k*b``)
+falls back to OOC_SYRK, as in the element version.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..baselines.ooc_syrk import ooc_syrk, ooc_syrk_strip
+from ..config import tiled_tbs_shape_for_memory
+from ..errors import ConfigurationError
+from ..machine.machine import TwoLevelMachine
+from ..machine.tracker import IOStats
+from ..sched.ops import OuterColsUpdate
+from ..utils.intervals import as_index_array, split_indices
+from .partition import plan_partition
+
+
+def default_tiled_shape(s: int, k: int = 4) -> tuple[int, int]:
+    """Default ``(k, b)`` for memory ``S``: caller-chosen ``k`` (>= 3),
+    largest feasible ``b``.  Small ``k`` maximizes ``b`` and thus lowers the
+    validity threshold; large ``k`` approaches the element version's
+    constant.  E4 sweeps this trade-off."""
+    if k < 3:
+        raise ConfigurationError(f"tiled TBS needs k >= 3, got {k}")
+    return k, tiled_tbs_shape_for_memory(s, k)
+
+
+def tbs_tiled_syrk(
+    m: TwoLevelMachine,
+    a: str,
+    c: str,
+    rows,
+    cols,
+    sign: float = 1.0,
+    k: int | None = None,
+    b: int | None = None,
+) -> IOStats:
+    """Tiled TBS: ``C[rows, rows] += sign * A A^T`` (lower incl. diagonal).
+
+    ``k`` is the tile-triangle side, ``b`` the tile side; defaults pick
+    ``k=4`` and the largest ``b`` with ``b^2 k(k-1)/2 + k b <= S``.
+    Returns the I/O stats delta.
+    """
+    rows = as_index_array(rows)
+    cols = as_index_array(cols)
+    if k is None:
+        k = 4
+    if b is None:
+        b = tiled_tbs_shape_for_memory(m.capacity, k)
+    if k < 3:
+        raise ConfigurationError(f"tiled TBS needs k >= 3, got {k}")
+    need = b * b * (k * (k - 1) // 2) + k * b
+    if need > m.capacity:
+        raise ConfigurationError(f"(k={k}, b={b}) needs S >= {need}, got {m.capacity}")
+    before = m.stats.snapshot()
+    _tiled_recurse(m, a, c, rows, cols, sign, k, b)
+    return m.stats.diff(before)
+
+
+def _tiled_recurse(
+    m: TwoLevelMachine,
+    a: str,
+    c: str,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    sign: float,
+    k: int,
+    b: int,
+) -> None:
+    n = rows.size
+    n_tiles = n // b
+    part = plan_partition(n_tiles, k) if n_tiles >= 1 else None
+    if part is None:
+        ooc_syrk(m, a, c, rows, cols, sign=sign)
+        return
+
+    ckb = part.covered * b
+    # (1) leftover strip: rows beyond the c*k full tile-rows.
+    if n > ckb:
+        ooc_syrk_strip(m, a, c, rows[ckb:], rows[:ckb], cols, sign=sign)
+
+    # (2) recursion on the k groups of c tile-rows each.
+    for u in range(k):
+        lo, hi = u * part.c * b, (u + 1) * part.c * b
+        _tiled_recurse(m, a, c, rows[lo:hi], cols, sign, k, b)
+
+    # (3) triangle-of-tiles blocks over the square zones.
+    tile_rows = split_indices(rows[:ckb], b)  # tile-row u*c+f -> row indices
+    for (_ij, local_tile_rows) in part.iter_blocks():
+        # Tile-row indices, ascending so tile u > tile v => rows(u) > rows(v).
+        tr = sorted(int(t) for t in local_tile_rows)
+        row_sets = [tile_rows[t] for t in tr]
+        tile_regions = [
+            m.tile(c, row_sets[u], row_sets[v]) for u in range(k) for v in range(u)
+        ]
+        for reg in tile_regions:
+            m.load(reg)
+        stream_rows = np.concatenate(row_sets)
+        for kk in cols:
+            seg = m.column_segment(a, stream_rows, int(kk))
+            m.load(seg)
+            for u in range(k):
+                for v in range(u):
+                    m.compute(
+                        OuterColsUpdate(
+                            m, c, a, a, row_sets[u], row_sets[v], int(kk), int(kk), sign=sign
+                        )
+                    )
+            m.evict(seg)
+        for reg in tile_regions:
+            m.evict(reg, writeback=True)
+
+
+def tiled_leading_constant(k: int) -> float:
+    """The Section 5.1.4 leading-term penalty ``sqrt(k/(k-1))`` over optimal."""
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    return math.sqrt(k / (k - 1.0))

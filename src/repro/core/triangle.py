@@ -1,0 +1,141 @@
+"""Triangle blocks (Definition 3.5) and the σ/T(m) machinery (Lemma 3.6).
+
+A *triangle block* over a set of row indices ``R`` is::
+
+    TB(R) = {(r, r') : r, r' in R, r > r'}
+
+with ``|TB(R)| = |R|(|R|-1)/2``; ``|R|`` is its *side length*.  Triangle
+blocks are the paper's central device: updating ``TB(R)`` at iteration
+``k`` needs only the ``|R|`` values ``A[r, k], r in R`` — the symmetric
+footprint τ — whereas a square tile of the same area needs ~``sqrt(2)``
+times more streamed data.  That factor is the whole paper.
+
+``σ(m)`` (Lemma 3.6) is the smallest side length of a triangle block with at
+least ``m`` elements::
+
+    σ(m) = ceil( sqrt(1/4 + 2m) + 1/2 ),   σ(0) = 0
+
+and ``T(m)`` is a canonical ``m``-element subset of ``TB([0, σ(m)))`` — the
+cheapest way to place ``m`` computations in one iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+Pair = tuple[int, int]
+
+
+def triangle_block(r: Iterable[int]) -> set[Pair]:
+    """``TB(R)``: all strictly subdiagonal pairs of ``R`` (Definition 3.5).
+
+    >>> sorted(triangle_block([0, 2, 5]))
+    [(2, 0), (5, 0), (5, 2)]
+    """
+    rs = sorted(set(r))
+    if len(rs) != len(list(r)):
+        raise ValueError("triangle block row set R must be duplicate-free")
+    return {(a, b) for i, a in enumerate(rs) for b in rs[:i]}
+
+
+def triangle_block_size(side: int) -> int:
+    """``|TB(R)|`` for ``|R| = side``: ``side (side - 1) / 2``.
+
+    >>> triangle_block_size(5)
+    10
+    """
+    if side < 0:
+        raise ValueError(f"side length must be >= 0, got {side}")
+    return side * (side - 1) // 2
+
+
+def side_length(block: Iterable[Pair]) -> int:
+    """Side length of a set of pairs: ``|tau(block)|`` (Definition 3.3)."""
+    return symmetric_footprint_size(block)
+
+
+def symmetric_footprint_size(u: Iterable[Pair]) -> int:
+    """``|tau(U)|``: distinct indices appearing as either pair coordinate."""
+    seen: set[int] = set()
+    for i, j in u:
+        seen.add(i)
+        seen.add(j)
+    return len(seen)
+
+
+def sigma(m: int) -> int:
+    """σ(m): smallest side length of a triangle block with >= m elements.
+
+    Lemma 3.6: ``σ(m) = ceil( sqrt(1/4 + 2m) + 1/2 )`` for m >= 1, σ(0)=0.
+
+    >>> [sigma(m) for m in range(7)]
+    [0, 2, 3, 3, 4, 4, 4]
+    >>> sigma(10)
+    5
+    """
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if m == 0:
+        return 0
+    s = math.ceil(math.sqrt(0.25 + 2 * m) + 0.5)
+    # Guard against float edge cases: σ(m) is the least s with m <= s(s-1)/2.
+    while (s - 1) * (s - 2) // 2 >= m:
+        s -= 1
+    while s * (s - 1) // 2 < m:
+        s += 1
+    return s
+
+
+def canonical_triangle(m: int) -> set[Pair]:
+    """``T(m)``: a canonical ``m``-element subset of ``TB([0, σ(m)))``.
+
+    We take the first ``m`` subdiagonal pairs in row-major order, which
+    guarantees ``|T(m)| = m`` and ``|tau(T(m))| = σ(m)`` (every row index of
+    the σ(m)-triangle appears among the first pairs because the last row
+    must be touched to reach ``m`` elements).
+
+    >>> sorted(canonical_triangle(4))
+    [(1, 0), (2, 0), (2, 1), (3, 0)]
+    """
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if m == 0:
+        return set()
+    s = sigma(m)
+    out: set[Pair] = set()
+    # Row-major over TB([0, s)): rows 1..s-1, columns 0..row-1.
+    for i in range(1, s):
+        for j in range(i):
+            out.add((i, j))
+            if len(out) == m:
+                return out
+    raise AssertionError("unreachable: sigma(m) triangle holds >= m pairs")
+
+
+def max_triangle_elements_for_footprint(f: int) -> int:
+    """Largest ``|U|`` over pair sets with ``|tau(U)| <= f`` and ``i > j``.
+
+    The inverse view of σ: with footprint budget ``f`` one can perform at
+    most ``f(f-1)/2`` subdiagonal updates in a single iteration (remark
+    after Definition 3.3).  Used in bound cross-checks.
+    """
+    if f < 0:
+        raise ValueError(f"footprint must be >= 0, got {f}")
+    return f * (f - 1) // 2
+
+
+def sigma_real(m: float) -> float:
+    """The continuous relaxation of σ: the real ``s`` with ``s(s-1)/2 = m``.
+
+    ``sigma_real(m) = 1/2 + sqrt(1/4 + 2m)`` — concave in ``m``, with
+    ``sigma(m) = ceil(sigma_real(m))`` for integer ``m >= 1``.  The proof of
+    Lemma 4.3 uses concavity of σ, which holds for this relaxation but is
+    (very slightly) violated by the integer ceiling — see
+    :func:`repro.core.balanced.rebalancing_slack` and the E1 write-up.
+    """
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if m == 0:
+        return 0.0
+    return 0.5 + math.sqrt(0.25 + 2.0 * m)

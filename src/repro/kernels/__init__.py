@@ -1,0 +1,71 @@
+"""In-memory reference kernels, op-set combinatorics, and flop conventions.
+
+``reference`` holds the NumPy oracles every schedule is verified against;
+``opsets`` implements the paper's operation sets 𝒮 (SYRK) and 𝒞 (Cholesky
+updates) together with the data-access functional ``D(B)`` of Proposition
+3.4; ``flops`` centralizes work-counting conventions.
+"""
+
+from .reference import (
+    syrk_reference,
+    cholesky_reference,
+    cholesky_lower_in_place,
+    cholesky_element_loops,
+    syrk_element_loops,
+    trsm_right_lower_transpose,
+    trsm_element_loops,
+    gemm_reference,
+    lu_nopivot_reference,
+    lu_nopivot_in_place,
+)
+from .opsets import (
+    syrk_opset_size,
+    cholesky_update_count,
+    iter_syrk_ops,
+    iter_cholesky_updates,
+    restriction,
+    symmetric_footprint,
+    data_accessed,
+)
+from .flops import (
+    syrk_mults,
+    syrk_flops,
+    cholesky_mults,
+    cholesky_flops,
+    gemm_mults,
+    gemm_flops,
+    trsm_mults,
+    trsm_flops,
+    lu_mults,
+    lu_flops,
+)
+
+__all__ = [
+    "syrk_reference",
+    "cholesky_reference",
+    "cholesky_lower_in_place",
+    "cholesky_element_loops",
+    "syrk_element_loops",
+    "trsm_right_lower_transpose",
+    "trsm_element_loops",
+    "gemm_reference",
+    "lu_nopivot_reference",
+    "lu_nopivot_in_place",
+    "syrk_opset_size",
+    "cholesky_update_count",
+    "iter_syrk_ops",
+    "iter_cholesky_updates",
+    "restriction",
+    "symmetric_footprint",
+    "data_accessed",
+    "syrk_mults",
+    "syrk_flops",
+    "cholesky_mults",
+    "cholesky_flops",
+    "gemm_mults",
+    "gemm_flops",
+    "trsm_mults",
+    "trsm_flops",
+    "lu_mults",
+    "lu_flops",
+]

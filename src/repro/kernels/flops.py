@@ -1,0 +1,86 @@
+"""Work-counting conventions, shared by blocked ops and element-level loops.
+
+Convention (matches the paper's operation sets): a multiply-add counts as
+1 *mult* and 2 *flops*; a division as 1 mult / 1 flop; a square root as
+0 mults / 1 flop.  The paper's operational-intensity results are stated
+per multiplication (max ``sqrt(S/2)`` for symmetric kernels) and per flop
+"when also counting the addition operations" (max ``sqrt(2S)``); tracking
+both lets :mod:`repro.analysis.oi` reproduce either form.
+"""
+
+from __future__ import annotations
+
+
+def syrk_mults(n: int, m: int, include_diagonal: bool = True) -> int:
+    """Multiplies of SYRK on the lower triangle (Algorithm 1).
+
+    ``N(N+1)/2 * M`` including the diagonal (what the algorithms compute);
+    ``N(N-1)/2 * M`` excluding it (the paper's bound-relevant set 𝒮).
+    """
+    pairs = n * (n + 1) // 2 if include_diagonal else n * (n - 1) // 2
+    return pairs * m
+
+
+def syrk_flops(n: int, m: int, include_diagonal: bool = True) -> int:
+    """Flops of SYRK (2 per multiply-add)."""
+    return 2 * syrk_mults(n, m, include_diagonal)
+
+
+def cholesky_mults(n: int) -> int:
+    """Multiplies (incl. divisions) of an ``n x n`` Cholesky (Algorithm 2).
+
+    Algorithm 2's update loop runs ``j = k+1 .. i`` *inclusive*, so updates
+    (including the diagonal ones ``j == i``) number ``(n^3 - n)/6``; add
+    ``n(n-1)/2`` divisions.  (The paper's bound set 𝒞 keeps only the strict
+    ``i > j`` updates — that count is :func:`cholesky_update_mults`.)
+    """
+    return (n**3 - n) // 6 + n * (n - 1) // 2
+
+
+def cholesky_update_mults(n: int) -> int:
+    """Update multiplies of the paper's set 𝒞 only: ``n(n-1)(n-2)/6``."""
+    return n * (n - 1) * (n - 2) // 6
+
+
+def cholesky_flops(n: int) -> int:
+    """Flops of Cholesky: 2 per update (incl. diagonal updates), 1 per
+    division, 1 per sqrt."""
+    return 2 * ((n**3 - n) // 6) + n * (n - 1) // 2 + n
+
+
+def gemm_mults(n: int, m: int, k: int) -> int:
+    """Multiplies of ``C (n x m) += A (n x k) B (k x m)``."""
+    return n * m * k
+
+
+def gemm_flops(n: int, m: int, k: int) -> int:
+    return 2 * gemm_mults(n, m, k)
+
+
+def trsm_mults(n: int, m: int) -> int:
+    """Multiplies of ``X Lᵀ = B`` with ``L`` ``n x n`` lower, ``B`` ``m x n``.
+
+    Per row of ``B``: ``n(n-1)/2`` update multiplies + ``n`` divisions.
+    """
+    return m * (n * (n - 1) // 2 + n)
+
+
+def trsm_flops(n: int, m: int) -> int:
+    return m * (2 * (n * (n - 1) // 2) + n)
+
+
+def lu_mults(n: int) -> int:
+    """Multiplies of an ``n x n`` LU without pivoting.
+
+    Update multiplies ``n(n-1)(2n-1)/6`` ... computed exactly as
+    ``sum_k (n-k-1)^2`` plus ``sum_k (n-k-1)`` divisions.
+    """
+    updates = sum((n - k - 1) ** 2 for k in range(n))
+    divisions = n * (n - 1) // 2
+    return updates + divisions
+
+
+def lu_flops(n: int) -> int:
+    updates = sum((n - k - 1) ** 2 for k in range(n))
+    divisions = n * (n - 1) // 2
+    return 2 * updates + divisions

@@ -1,0 +1,164 @@
+"""In-memory reference kernels: the oracles every schedule is verified against.
+
+Two styles per kernel:
+
+* a vectorized NumPy implementation (``*_reference``) used for end-to-end
+  verification of the out-of-core schedules, and
+* a literal element-loop transcription of the paper's Algorithm 1 / 2
+  (``*_element_loops``) used to pin down the exact operation sets 𝒮 and 𝒞
+  and to drive the pebble-game machine.
+
+The blocked schedules and the element loops must agree to ~1e-12: they
+perform the same floating-point operations in different orders, and the
+test suite checks this on well-conditioned random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, VerificationError
+from ..utils.checks import check_matrix, check_square
+
+
+def syrk_reference(a: np.ndarray, c: np.ndarray | None = None, sign: float = 1.0) -> np.ndarray:
+    """Lower-triangular SYRK: returns ``C`` with ``C += sign * tril(A Aᵀ)``.
+
+    Only the lower triangle (including the diagonal) is updated; the strict
+    upper triangle of the result equals that of the input ``C`` (or zero),
+    matching Algorithm 1, which never references it.
+    """
+    a = check_matrix("A", a)
+    n = a.shape[0]
+    out = np.zeros((n, n)) if c is None else check_square("C", c).copy()
+    out += sign * np.tril(a @ a.T)
+    return out
+
+
+def syrk_element_loops(a: np.ndarray, c: np.ndarray | None = None, sign: float = 1.0) -> np.ndarray:
+    """Algorithm 1 verbatim (three nested loops, lower triangle incl. diagonal)."""
+    a = check_matrix("A", a)
+    n, m = a.shape
+    out = np.zeros((n, n)) if c is None else check_square("C", c).copy()
+    for i in range(n):
+        for j in range(i + 1):
+            for k in range(m):
+                out[i, j] += sign * a[i, k] * a[j, k]
+    return out
+
+
+def cholesky_lower_in_place(a: np.ndarray) -> np.ndarray:
+    """In-place lower Cholesky of a square array whose lower triangle holds A.
+
+    Column-based, vectorized; touches only the lower triangle (the strict
+    upper triangle may hold garbage/NaN poison and is left untouched).
+    Raises :class:`VerificationError` on a non-positive pivot.
+    """
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ConfigurationError(f"cholesky needs a square array, got {a.shape}")
+    for k in range(n):
+        pivot = a[k, k]
+        if not pivot > 0:
+            raise VerificationError(f"non-positive pivot {pivot!r} at column {k}")
+        a[k, k] = np.sqrt(pivot)
+        if k + 1 < n:
+            a[k + 1 :, k] /= a[k, k]
+            # Trailing update, lower triangle only, one column at a time so
+            # no upper-triangle element is ever read or written.
+            col = a[k + 1 :, k]
+            for j in range(k + 1, n):
+                a[j:, j] -= col[j - k - 1 :] * col[j - k - 1]
+    return a
+
+
+def cholesky_reference(a: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of an SPD matrix (fresh array, upper zeroed)."""
+    a = check_square("A", a)
+    work = np.tril(a).copy()
+    # Mirror the lower triangle so our in-place routine sees what it expects.
+    cholesky_lower_in_place(work)
+    return np.tril(work)
+
+
+def cholesky_element_loops(a: np.ndarray) -> np.ndarray:
+    """Algorithm 2 verbatim: in-place element-wise Cholesky (returns a copy)."""
+    a = check_square("A", a)
+    out = a.copy()
+    n = out.shape[0]
+    for k in range(n):
+        out[k, k] = np.sqrt(out[k, k])
+        for i in range(k + 1, n):
+            out[i, k] = out[i, k] / out[k, k]
+            for j in range(k + 1, i + 1):
+                out[i, j] -= out[i, k] * out[j, k]
+    # Algorithm 2 only defines the lower triangle; zero the rest for comparison.
+    return np.tril(out)
+
+
+def trsm_right_lower_transpose(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``X Lᵀ = B`` for X (``L`` lower triangular, ``B`` is ``m x n``).
+
+    This is the TRSM variant LBC uses: the panel below a factored diagonal
+    block is ``A[I1, I0] <- A[I1, I0] · L⁻ᵀ``.
+    """
+    l = check_square("L", l)
+    b = check_matrix("B", b)
+    if b.shape[1] != l.shape[0]:
+        raise ConfigurationError(f"B has {b.shape[1]} columns, L is {l.shape[0]} x {l.shape[0]}")
+    from scipy.linalg import solve_triangular
+
+    # X Lᵀ = B  <=>  L Xᵀ = Bᵀ
+    return solve_triangular(np.tril(l), b.T, lower=True).T
+
+
+def trsm_element_loops(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-loop TRSM ``X Lᵀ = B`` (column-by-column forward substitution)."""
+    l = check_square("L", l)
+    out = check_matrix("B", b).copy()
+    n = l.shape[0]
+    for t in range(n):
+        for u in range(t):
+            out[:, t] -= out[:, u] * l[t, u]
+        out[:, t] /= l[t, t]
+    return out
+
+
+def gemm_reference(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, sign: float = 1.0) -> np.ndarray:
+    """Plain dense ``C += sign * A B``."""
+    a = check_matrix("A", a)
+    b = check_matrix("B", b)
+    if a.shape[1] != b.shape[0]:
+        raise ConfigurationError(f"inner dims mismatch: {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1])) if c is None else check_matrix("C", c).copy()
+    out += sign * (a @ b)
+    return out
+
+
+def lu_nopivot_in_place(a: np.ndarray) -> np.ndarray:
+    """In-place Doolittle LU without pivoting (L unit-lower below, U upper).
+
+    Intended for strictly diagonally dominant inputs, where no pivoting is
+    needed; raises :class:`VerificationError` on a zero pivot.
+    """
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ConfigurationError(f"LU needs a square array, got {a.shape}")
+    for k in range(n):
+        pivot = a[k, k]
+        if pivot == 0:
+            raise VerificationError(f"zero pivot at column {k}")
+        a[k + 1 :, k] /= pivot
+        if k + 1 < n:
+            a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    return a
+
+
+def lu_nopivot_reference(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """LU factors ``(L, U)`` with unit-lower ``L`` (fresh arrays)."""
+    a = check_square("A", a)
+    work = a.copy()
+    lu_nopivot_in_place(work)
+    l = np.tril(work, -1) + np.eye(a.shape[0])
+    u = np.triu(work)
+    return l, u

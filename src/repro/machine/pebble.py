@@ -1,0 +1,180 @@
+"""Element-granular red-blue pebble machines (Hong & Kung, Section 2.1).
+
+These tiny machines execute *element-level* operation streams — each
+operation names the individual matrix elements it reads and writes — and
+are used for two purposes:
+
+* :class:`LRUPebbleMachine` runs the naive three-nested-loop schedules of
+  Algorithms 1 and 2 under a least-recently-used replacement policy,
+  reproducing the motivation experiment (E9): without blocking, I/O blows
+  up to ~1 load per operation once the working set exceeds ``S``.
+* :class:`ExplicitPebbleMachine` gives schedules explicit load/evict control
+  at element granularity, and is used in tests to cross-validate the main
+  block-level machine on instances small enough to run both.
+
+Elements are identified by ``(matrix_name, i, j)``.  Loads and stores are
+counted exactly like the big machine: ``q = loads``, writebacks tracked
+separately.  Dirty elements are written back when evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigurationError, ResidencyError
+
+Element = tuple[str, int, int]
+
+
+class _PebbleBase:
+    """Shared storage: backing arrays + resident set + counters."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.arrays: dict[str, np.ndarray] = {}
+        # element -> dirty flag; insertion order doubles as LRU order.
+        self.resident: OrderedDict[Element, bool] = OrderedDict()
+        self.loads = 0
+        self.stores = 0
+        self.mults = 0
+        self.flops = 0
+        self.peak_occupancy = 0
+
+    def add_matrix(self, name: str, array: np.ndarray) -> None:
+        if name in self.arrays:
+            raise ConfigurationError(f"matrix {name!r} already registered")
+        self.arrays[name] = np.array(array, dtype=np.float64, copy=True)
+
+    def result(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.resident)
+
+    @property
+    def q(self) -> int:
+        """Paper-convention I/O volume (loads)."""
+        return self.loads
+
+    def _bump_peak(self) -> None:
+        if len(self.resident) > self.peak_occupancy:
+            self.peak_occupancy = len(self.resident)
+
+    def _writeback(self, elem: Element) -> None:
+        # Values are computed in place in the backing array, so a writeback
+        # only needs to be *counted* (the model's traffic), not performed.
+        self.stores += 1
+
+
+class LRUPebbleMachine(_PebbleBase):
+    """Automatic replacement: touching a non-resident element loads it,
+    evicting the least-recently-used element if at capacity."""
+
+    def touch(self, elems: Iterable[Element], write: bool = False) -> None:
+        """Bring elements into fast memory (LRU-evicting) and mark use."""
+        for elem in elems:
+            if elem in self.resident:
+                dirty = self.resident.pop(elem)
+                self.resident[elem] = dirty or write
+            else:
+                while len(self.resident) >= self.capacity:
+                    victim, dirty = self.resident.popitem(last=False)
+                    if dirty:
+                        self._writeback(victim)
+                self.resident[elem] = write
+                self.loads += 1
+                self._bump_peak()
+
+    def op_muladd(self, c: Element, a: Element, b: Element, sign: float = 1.0) -> None:
+        """``C[c] += sign * A[a] * B[b]`` with automatic loading."""
+        self.touch([a, b])
+        self.touch([c], write=True)
+        ca, ci, cj = c
+        an, ai, aj = a
+        bn, bi, bj = b
+        self.arrays[ca][ci, cj] += sign * self.arrays[an][ai, aj] * self.arrays[bn][bi, bj]
+        self.mults += 1
+        self.flops += 2
+
+    def op_div(self, x: Element, d: Element) -> None:
+        """``X[x] /= D[d]``."""
+        self.touch([d])
+        self.touch([x], write=True)
+        xn, xi, xj = x
+        dn, di, dj = d
+        self.arrays[xn][xi, xj] /= self.arrays[dn][di, dj]
+        self.mults += 1
+        self.flops += 1
+
+    def op_sqrt(self, x: Element) -> None:
+        """``X[x] = sqrt(X[x])``."""
+        self.touch([x], write=True)
+        xn, xi, xj = x
+        self.arrays[xn][xi, xj] = np.sqrt(self.arrays[xn][xi, xj])
+        self.flops += 1
+
+    def flush(self) -> None:
+        """Evict everything, writing back dirty elements."""
+        while self.resident:
+            victim, dirty = self.resident.popitem(last=False)
+            if dirty:
+                self._writeback(victim)
+
+
+class ExplicitPebbleMachine(_PebbleBase):
+    """Program-controlled element loads/evicts (the model of Section 3,
+    at pebble granularity)."""
+
+    def load(self, elem: Element) -> None:
+        if elem in self.resident:
+            raise ResidencyError(f"redundant load of {elem!r}")
+        if len(self.resident) >= self.capacity:
+            raise CapacityError(1, len(self.resident), self.capacity)
+        self.resident[elem] = False
+        self.loads += 1
+        self._bump_peak()
+
+    def evict(self, elem: Element, writeback: bool | None = None) -> None:
+        if elem not in self.resident:
+            raise ResidencyError(f"evict of non-resident {elem!r}")
+        dirty = self.resident.pop(elem)
+        do_writeback = dirty if writeback is None else writeback
+        if do_writeback:
+            self._writeback(elem)
+
+    def _require(self, elems: Iterable[Element]) -> None:
+        for elem in elems:
+            if elem not in self.resident:
+                raise ResidencyError(f"compute touches non-resident {elem!r}")
+
+    def op_muladd(self, c: Element, a: Element, b: Element, sign: float = 1.0) -> None:
+        self._require([c, a, b])
+        self.resident[c] = True
+        ca, ci, cj = c
+        an, ai, aj = a
+        bn, bi, bj = b
+        self.arrays[ca][ci, cj] += sign * self.arrays[an][ai, aj] * self.arrays[bn][bi, bj]
+        self.mults += 1
+        self.flops += 2
+
+    def op_div(self, x: Element, d: Element) -> None:
+        self._require([x, d])
+        self.resident[x] = True
+        xn, xi, xj = x
+        dn, di, dj = d
+        self.arrays[xn][xi, xj] /= self.arrays[dn][di, dj]
+        self.mults += 1
+        self.flops += 1
+
+    def op_sqrt(self, x: Element) -> None:
+        self._require([x])
+        self.resident[x] = True
+        xn, xi, xj = x
+        self.arrays[xn][xi, xj] = np.sqrt(self.arrays[xn][xi, xj])
+        self.flops += 1

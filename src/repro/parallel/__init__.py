@@ -1,0 +1,38 @@
+"""Parallel (P-node) model: the paper's suggested next step, §2.2 + conclusion.
+
+The paper's machine-model discussion notes the equivalence it builds on:
+"the two-level model can be used to study the volume of communication of a
+single node in a parallel machine, since the set of all other nodes can be
+viewed as a single 'slow' memory".  This subpackage takes that literally:
+
+* a *node assignment* partitions the result matrix's lower triangle among
+  ``P`` nodes — either by square tiles (the classical 2D approach) or by
+  triangle blocks (the paper's device, distributed);
+* each node then executes its share on its own two-level counting machine
+  with fast memory ``S``, where every load is a network *receive*;
+* the simulator reports per-node receive volumes (max = the quantity
+  parallel lower bounds govern, mean, imbalance).
+
+The conclusion's conjecture — that triangle blocks yield communication-
+efficient *parallel* symmetric kernels — is reproduced as experiment E11:
+the per-node maximum receive volume drops by the same ``(k-1)/s -> sqrt(2)``
+factor as in the sequential model, at equal memory and balance.
+"""
+
+from .partition import (
+    BlockSpec,
+    NodeAssignment,
+    square_tile_assignment,
+    triangle_block_assignment,
+)
+from .simulate import NodeReport, ParallelSummary, simulate_syrk
+
+__all__ = [
+    "BlockSpec",
+    "NodeAssignment",
+    "square_tile_assignment",
+    "triangle_block_assignment",
+    "NodeReport",
+    "ParallelSummary",
+    "simulate_syrk",
+]

@@ -1,0 +1,166 @@
+"""Distributing the SYRK result matrix among P nodes.
+
+A :class:`NodeAssignment` maps each node to a list of :class:`BlockSpec`s —
+disjoint pieces of the lower triangle of ``C`` whose union over all nodes is
+exactly the full lower triangle (validated exhaustively in tests).  Two
+strategies:
+
+* :func:`square_tile_assignment` — the classical 2D decomposition: the tile
+  grid of side ``s`` is dealt round-robin (by zig-zag area order, for
+  balance) to nodes; diagonal tiles are lower-triangle pieces;
+* :func:`triangle_block_assignment` — the paper's device distributed: the
+  ``c^2`` triangle blocks of a TBS partition are dealt round-robin, the
+  diagonal zones are recursively partitioned the same way, and the strip
+  falls back to square tiles.
+
+Both keep every block small enough for a fast memory of ``S`` on the node
+(square: ``s^2 + 2s <= S``; triangle: ``k(k+1)/2 <= S``), so the per-node
+simulation in :mod:`repro.parallel.simulate` is a legal two-level schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import square_tile_side_for_memory, triangle_side_for_memory
+from ..errors import ConfigurationError
+from ..core.partition import plan_partition
+from ..utils.checks import check_positive
+from ..utils.intervals import split_indices
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One piece of the lower triangle assigned to a node.
+
+    ``kind``:
+      * ``"rect"``     — full rectangle ``rows_i x rows_j`` (disjoint row sets,
+        every pair subdiagonal);
+      * ``"diag"``     — lower triangle (incl. diagonal) over ``rows_i``;
+      * ``"triangle"`` — strict subdiagonal pairs ``TB(rows_i)`` (scattered).
+    """
+
+    kind: str
+    rows_i: tuple[int, ...]
+    rows_j: tuple[int, ...] = ()
+
+    def pairs(self) -> set[tuple[int, int]]:
+        """The (i, j) elements of C this block covers (i >= j)."""
+        if self.kind == "rect":
+            return {(i, j) for i in self.rows_i for j in self.rows_j}
+        if self.kind == "diag":
+            rs = sorted(self.rows_i)
+            return {(i, j) for a, i in enumerate(rs) for j in rs[: a + 1]}
+        if self.kind == "triangle":
+            rs = sorted(self.rows_i)
+            return {(i, j) for a, i in enumerate(rs) for j in rs[:a]}
+        raise ConfigurationError(f"unknown block kind {self.kind!r}")
+
+    def n_pairs(self) -> int:
+        ni = len(self.rows_i)
+        if self.kind == "rect":
+            return ni * len(self.rows_j)
+        if self.kind == "diag":
+            return ni * (ni + 1) // 2
+        if self.kind == "triangle":
+            return ni * (ni - 1) // 2
+        raise ConfigurationError(f"unknown block kind {self.kind!r}")
+
+
+@dataclass
+class NodeAssignment:
+    """Blocks per node, plus the problem geometry."""
+
+    n: int
+    p: int
+    s: int
+    strategy: str
+    blocks: list[list[BlockSpec]] = field(default_factory=list)
+
+    def node_pair_counts(self) -> list[int]:
+        """Computation balance: number of C pairs per node."""
+        return [sum(b.n_pairs() for b in node) for node in self.blocks]
+
+    def validate_exact_cover(self) -> bool:
+        """Union over nodes == full lower triangle (incl. diagonal), no overlap."""
+        seen: set[tuple[int, int]] = set()
+        for node in self.blocks:
+            for block in node:
+                ps = block.pairs()
+                if seen & ps:
+                    return False
+                seen |= ps
+        want = {(i, j) for i in range(self.n) for j in range(i + 1)}
+        return seen == want
+
+
+def _deal(items: list[BlockSpec], p: int, start: int = 0) -> list[list[BlockSpec]]:
+    """Round-robin dealing of blocks to nodes, largest-first for balance."""
+    nodes: list[list[BlockSpec]] = [[] for _ in range(p)]
+    order = sorted(items, key=lambda b: -b.n_pairs())
+    loads = [0] * p
+    for block in order:
+        target = min(range(p), key=lambda q: loads[q])
+        nodes[target].append(block)
+        loads[target] += block.n_pairs()
+    return nodes
+
+
+def square_tile_assignment(n: int, p: int, s: int) -> NodeAssignment:
+    """2D decomposition: square ``s``-tiles (from memory ``S``) dealt to nodes."""
+    check_positive("n", n)
+    check_positive("p", p)
+    tile = square_tile_side_for_memory(s)
+    row_blocks = split_indices(np.arange(n), tile)
+    items: list[BlockSpec] = []
+    for bi, ri in enumerate(row_blocks):
+        items.append(BlockSpec("diag", tuple(int(r) for r in ri)))
+        for rj in row_blocks[:bi]:
+            items.append(BlockSpec("rect", tuple(int(r) for r in ri), tuple(int(r) for r in rj)))
+    out = NodeAssignment(n=n, p=p, s=s, strategy="square", blocks=_deal(items, p))
+    return out
+
+
+def triangle_block_assignment(n: int, p: int, s: int) -> NodeAssignment:
+    """Triangle-block decomposition: TBS partition blocks dealt to nodes.
+
+    Follows Algorithm 4's geometry: triangle blocks over the square zones,
+    recursion into the diagonal zones, square tiles for strips/fallbacks.
+    """
+    check_positive("n", n)
+    check_positive("p", p)
+    k = triangle_side_for_memory(s)
+    items: list[BlockSpec] = []
+
+    def recurse(rows: np.ndarray) -> None:
+        part = plan_partition(rows.size, k) if rows.size else None
+        if part is None:
+            _square_items(rows)
+            return
+        ck = part.covered
+        if part.leftover:
+            _strip_items(rows[ck:], rows[:ck])
+        for u in range(k):
+            recurse(rows[part.group(u)])
+        for (_ij, local) in part.iter_blocks():
+            items.append(BlockSpec("triangle", tuple(int(r) for r in rows[local])))
+
+    def _square_items(rows: np.ndarray) -> None:
+        tile = square_tile_side_for_memory(s)
+        row_blocks = split_indices(rows, tile)
+        for bi, ri in enumerate(row_blocks):
+            items.append(BlockSpec("diag", tuple(int(r) for r in ri)))
+            for rj in row_blocks[:bi]:
+                items.append(BlockSpec("rect", tuple(int(r) for r in ri), tuple(int(r) for r in rj)))
+
+    def _strip_items(strip: np.ndarray, prior: np.ndarray) -> None:
+        tile = square_tile_side_for_memory(s)
+        for ri in split_indices(strip, tile):
+            for rj in split_indices(prior, tile):
+                items.append(BlockSpec("rect", tuple(int(r) for r in ri), tuple(int(r) for r in rj)))
+        _square_items(strip)
+
+    recurse(np.arange(n))
+    return NodeAssignment(n=n, p=p, s=s, strategy="triangle", blocks=_deal(items, p))

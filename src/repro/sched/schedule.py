@@ -1,0 +1,121 @@
+"""Op-stream recording and replay.
+
+A :class:`Schedule` is the flat, machine-independent trace of a run: a list
+of :class:`LoadStep` / :class:`EvictStep` / :class:`ComputeStep`.  Recording
+hooks into :class:`~repro.machine.machine.TwoLevelMachine` via its
+``_recorders`` list, so any algorithm can be traced without modification;
+replaying feeds the same steps to a fresh machine.  The round-trip property
+(recorded stats == replayed stats, and identical numeric results) is part of
+the integration test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..machine.machine import TwoLevelMachine
+from ..machine.regions import Region
+from .ops import ComputeOp
+
+
+@dataclass(frozen=True)
+class LoadStep:
+    region: Region
+
+
+@dataclass(frozen=True)
+class EvictStep:
+    region: Region
+    writeback: bool
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    op: ComputeOp
+
+
+Step = LoadStep | EvictStep | ComputeStep
+
+
+@dataclass
+class Schedule:
+    """A recorded op stream plus the matrix shapes it addresses."""
+
+    steps: list[Step] = field(default_factory=list)
+    shapes: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def counts(self) -> dict[str, int]:
+        """Step-type histogram (loads / evicts / computes)."""
+        out = {"load": 0, "evict": 0, "compute": 0}
+        for s in self.steps:
+            if isinstance(s, LoadStep):
+                out["load"] += 1
+            elif isinstance(s, EvictStep):
+                out["evict"] += 1
+            else:
+                out["compute"] += 1
+        return out
+
+    def io_volume(self) -> tuple[int, int]:
+        """(loads, stores) in elements, computed from the trace alone."""
+        loads = sum(s.region.size for s in self.steps if isinstance(s, LoadStep))
+        stores = sum(
+            s.region.size for s in self.steps if isinstance(s, EvictStep) and s.writeback
+        )
+        return loads, stores
+
+
+class _Recorder:
+    def __init__(self, schedule: Schedule):
+        self.schedule = schedule
+
+    def on_load(self, region: Region) -> None:
+        self.schedule.steps.append(LoadStep(region))
+
+    def on_evict(self, region: Region, writeback: bool) -> None:
+        self.schedule.steps.append(EvictStep(region, writeback))
+
+    def on_compute(self, op: ComputeOp) -> None:
+        self.schedule.steps.append(ComputeStep(op))
+
+
+def record_schedule(machine: TwoLevelMachine, body: Callable[[], None]) -> Schedule:
+    """Run ``body()`` (which drives ``machine``) while recording every step."""
+    schedule = Schedule(shapes={n: machine.shape(n) for n in machine.slow.names()})
+    rec = _Recorder(schedule)
+    machine._recorders.append(rec)
+    try:
+        body()
+    finally:
+        machine._recorders.remove(rec)
+    return schedule
+
+
+def replay_schedule(schedule: Schedule, machine: TwoLevelMachine) -> None:
+    """Feed a recorded schedule to another machine (shapes must match).
+
+    The compute ops embed flat indices computed against the original
+    machine's matrix shapes, so the replay machine must register matrices
+    with identical shapes (values may differ).
+    """
+    for name, shape in schedule.shapes.items():
+        if name in machine.slow and machine.shape(name) != shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: schedule has {shape}, machine has {machine.shape(name)}"
+            )
+    for step in schedule.steps:
+        if isinstance(step, LoadStep):
+            machine.load(step.region)
+        elif isinstance(step, EvictStep):
+            machine.evict(step.region, writeback=step.writeback)
+        else:
+            machine.compute(step.op)

@@ -1,0 +1,111 @@
+"""Machine-independent legality checking of recorded schedules.
+
+:func:`validate_schedule` replays a schedule purely symbolically — residency
+bitmaps and an occupancy counter, no numerics, no machine — and raises
+:class:`~repro.errors.ScheduleError` on the first violation of the model's
+rules:
+
+* a load may not exceed capacity ``S`` (and, by default, may not target
+  already-resident elements);
+* an evict must target resident elements;
+* a compute may only touch resident elements.
+
+This is the test suite's independent referee: the simulator that produced
+the I/O counts cannot be the only thing asserting the schedule was legal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..machine.regions import Region, merge_regions
+from .schedule import ComputeStep, EvictStep, LoadStep, Schedule
+
+
+def validate_schedule(
+    schedule: Schedule,
+    capacity: int,
+    *,
+    allow_redundant_loads: bool = False,
+    require_empty_end: bool = True,
+) -> dict[str, int]:
+    """Check every step of ``schedule`` against the model's rules.
+
+    Returns summary counters (loads, stores, peak occupancy) on success,
+    raises :class:`ScheduleError` on the first violation.
+    """
+    masks = {name: np.zeros(r * c, dtype=bool) for name, (r, c) in schedule.shapes.items()}
+    occupancy = 0
+    peak = 0
+    loads = 0
+    stores = 0
+
+    def mask_for(region: Region) -> np.ndarray:
+        try:
+            return masks[region.matrix]
+        except KeyError:
+            raise ScheduleError(f"step references unknown matrix {region.matrix!r}") from None
+
+    for pos, step in enumerate(schedule.steps):
+        if isinstance(step, LoadStep):
+            mask = mask_for(step.region)
+            idx = step.region.flat
+            already = mask[idx]
+            if already.any() and not allow_redundant_loads:
+                raise ScheduleError(
+                    f"step {pos}: redundant load of {int(already.sum())} resident "
+                    f"element(s) of {step.region.matrix!r}"
+                )
+            fresh = int((~already).sum())
+            if occupancy + fresh > capacity:
+                raise ScheduleError(
+                    f"step {pos}: load would push occupancy {occupancy} -> "
+                    f"{occupancy + fresh} beyond capacity {capacity}"
+                )
+            mask[idx] = True
+            occupancy += fresh
+            peak = max(peak, occupancy)
+            loads += idx.size
+        elif isinstance(step, EvictStep):
+            mask = mask_for(step.region)
+            idx = step.region.flat
+            resident = mask[idx]
+            if not resident.all():
+                raise ScheduleError(
+                    f"step {pos}: evict of {int((~resident).sum())} non-resident "
+                    f"element(s) of {step.region.matrix!r}"
+                )
+            mask[idx] = False
+            occupancy -= int(idx.size)
+            if step.writeback:
+                stores += int(idx.size)
+        elif isinstance(step, ComputeStep):
+            for region in list(step.op.reads()) + list(step.op.writes()):
+                mask = mask_for(region)
+                resident = mask[region.flat]
+                if not resident.all():
+                    raise ScheduleError(
+                        f"step {pos}: compute {step.op.name!r} touches "
+                        f"{int((~resident).sum())} non-resident element(s) of "
+                        f"{region.matrix!r}"
+                    )
+        else:  # pragma: no cover - defensive
+            raise ScheduleError(f"step {pos}: unknown step type {type(step).__name__}")
+
+    if require_empty_end and occupancy != 0:
+        raise ScheduleError(f"fast memory not empty at end of schedule ({occupancy} resident)")
+    return {"loads": loads, "stores": stores, "peak_occupancy": peak}
+
+
+def schedule_footprint(schedule: Schedule) -> dict[str, int]:
+    """Distinct elements touched per matrix across the whole schedule.
+
+    Useful for asserting e.g. that TBS reads every element of ``C``'s lower
+    triangle exactly once (footprint == loads for that matrix).
+    """
+    regions: list[Region] = []
+    for step in schedule.steps:
+        if isinstance(step, LoadStep):
+            regions.append(step.region)
+    return {r.matrix: r.size for r in merge_regions(regions)}

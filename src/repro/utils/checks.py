@@ -1,0 +1,51 @@
+"""Argument-validation helpers.
+
+Raising :class:`repro.errors.ConfigurationError` early with a precise message
+keeps the simulator's own errors (capacity/residency violations) meaningful:
+if an algorithm reaches the machine with nonsense dimensions we want to fail
+here, not three layers down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that an integer parameter is >= 1 and return it as int."""
+    iv = int(value)
+    if iv != value or iv < 1:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return iv
+
+
+def check_nonnegative(name: str, value: int) -> int:
+    """Validate that an integer parameter is >= 0 and return it as int."""
+    iv = int(value)
+    if iv != value or iv < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return iv
+
+
+def check_matrix(name: str, a: np.ndarray) -> np.ndarray:
+    """Validate a 2-D float array and return it as float64 (no copy if possible)."""
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_square(name: str, a: np.ndarray) -> np.ndarray:
+    """Validate a square 2-D float array."""
+    arr = check_matrix(name, a)
+    if arr.shape[0] != arr.shape[1]:
+        raise ConfigurationError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def check_divides(name: str, divisor: int, dividend: int) -> None:
+    """Validate ``divisor | dividend`` (LBC's ``b | N`` requirement)."""
+    if dividend % divisor != 0:
+        raise ConfigurationError(f"{name}: {divisor} does not divide {dividend}")

@@ -1,0 +1,90 @@
+"""ASCII table/report formatting shared by benches, examples and EXPERIMENTS.md.
+
+Everything in this library reports results as plain-text tables (the
+environment has no plotting stack, and the paper's figures are structural
+diagrams anyway).  :class:`Table` renders aligned monospace tables with
+per-column formatting; helper formatters render floats and ratios the way
+the experiment write-ups expect (fixed significant digits, ``x`` suffix for
+ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+
+def format_float(x: float, digits: int = 4) -> str:
+    """Fixed-significant-digit float rendering: ``format_float(0.70712) == '0.7071'``."""
+    if x == 0:
+        return "0"
+    return f"{x:.{digits}g}"
+
+
+def format_ratio(x: float, digits: int = 3) -> str:
+    """Ratio rendering with an ``x`` suffix: ``format_ratio(1.4139) == '1.414x'``."""
+    return f"{x:.{digits}f}x"
+
+
+def format_int(x: int) -> str:
+    """Thousands-separated integer rendering."""
+    return f"{int(x):,}"
+
+
+@dataclass
+class Table:
+    """A minimal aligned-text table builder.
+
+    >>> t = Table(["alg", "Q"])
+    >>> t.add_row(["TBS", 1234])
+    >>> t.add_row(["OCS", 1750])
+    >>> print(t.render())
+    alg  Q
+    ---  ----
+    TBS  1234
+    OCS  1750
+    """
+
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str | None = None
+
+    def add_row(self, values: Iterable[Any], formats: Sequence[Callable[[Any], str]] | None = None) -> None:
+        vals = list(values)
+        if len(vals) != len(self.headers):
+            raise ValueError(f"row has {len(vals)} cells, table has {len(self.headers)} columns")
+        if formats is not None:
+            if len(formats) != len(vals):
+                raise ValueError("formats length must match row length")
+            self.rows.append([fmt(v) for fmt, v in zip(formats, vals)])
+        else:
+            self.rows.append([v if isinstance(v, str) else str(v) for v in vals])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip())
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def banner(text: str, width: int = 72, char: str = "=") -> str:
+    """A centred section banner used by the example scripts."""
+    text = f" {text} "
+    if len(text) >= width:
+        return text.strip()
+    pad = width - len(text)
+    left = pad // 2
+    right = pad - left
+    return char * left + text + char * right

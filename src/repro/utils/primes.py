@@ -1,0 +1,159 @@
+"""Prime and coprimality utilities backing Lemma 5.5 of the paper.
+
+The TBS algorithm needs, for triangle side ``k``, a zone size ``c`` that is
+coprime with every integer in ``[2, k-2]`` — equivalently, coprime with the
+primorial ``q = prod(p prime, p <= k-2)`` (Definition 5.4 / Lemma 5.5).  The
+algorithm picks the largest such ``c`` below ``N/k``; the paper bounds the
+gap ``g = N/k - c`` by ``q`` and notes (via Example 1.5 of Friedlander &
+Iwaniec, *Opera de cribro*) that each primorial interval
+``[(a-1)q, aq - 1]`` contains exactly ``prod(p - 1)`` integers coprime with
+``q``, so in practice the gap is tiny.  Experiment E5 measures exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def primes_up_to(n: int) -> list[int]:
+    """All primes ``p <= n`` via a simple sieve of Eratosthenes.
+
+    >>> primes_up_to(10)
+    [2, 3, 5, 7]
+    >>> primes_up_to(1)
+    []
+    """
+    if n < 2:
+        return []
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0] = sieve[1] = 0
+    for p in range(2, math.isqrt(n) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+    return [i for i in range(2, n + 1) if sieve[i]]
+
+
+def primorial_up_to(n: int) -> int:
+    """The primorial ``q = prod(p prime, p <= n)``; ``1`` when ``n < 2``.
+
+    This is the constant ``q`` of Algorithm 4: for triangle side ``k`` the
+    algorithm uses ``primorial_up_to(k - 2)``.
+
+    >>> primorial_up_to(4)
+    6
+    >>> primorial_up_to(6)
+    30
+    >>> primorial_up_to(1)
+    1
+    """
+    q = 1
+    for p in primes_up_to(n):
+        q *= p
+    return q
+
+
+def is_coprime(a: int, b: int) -> bool:
+    """True iff ``gcd(a, b) == 1``.
+
+    >>> is_coprime(35, 6)
+    True
+    >>> is_coprime(9, 6)
+    False
+    """
+    return math.gcd(a, b) == 1
+
+
+def is_coprime_with_range(c: int, lo: int, hi: int) -> bool:
+    """True iff ``c`` is coprime with every integer in ``[lo, hi]`` inclusive.
+
+    Lemma 5.5 requires ``c`` coprime with all of ``[2, k-2]``.  An empty
+    range (``hi < lo``) is vacuously satisfied.
+    """
+    return all(math.gcd(c, d) == 1 for d in range(lo, hi + 1))
+
+
+def largest_coprime_below(bound: int, q: int) -> int:
+    """Largest integer ``c <= bound`` with ``gcd(c, q) == 1``; ``0`` if none.
+
+    Algorithm 4 calls this with ``bound = floor(N / k)`` and the primorial
+    ``q``.  Since ``a*q + 1`` is coprime with ``q`` for every ``a >= 0``,
+    a coprime value exists whenever ``bound >= 1``.
+
+    >>> largest_coprime_below(30, 6)
+    29
+    >>> largest_coprime_below(24, 6)
+    23
+    >>> largest_coprime_below(1, 6)
+    1
+    """
+    if bound < 1:
+        return 0
+    for c in range(bound, 0, -1):
+        if math.gcd(c, q) == 1:
+            return c
+    return 0
+
+
+def coprime_count_in_primorial_interval(q_limit: int) -> int:
+    """Exact count of integers coprime with ``q`` in any interval of length ``q``.
+
+    For ``q = primorial_up_to(q_limit)``, every interval
+    ``[(a-1)q, aq - 1]`` contains exactly ``prod_{p <= q_limit} (p - 1)``
+    integers coprime with ``q`` (Euler totient of ``q``; the paper cites the
+    sieve form of this fact).  Returns that product.
+
+    >>> coprime_count_in_primorial_interval(3)   # q = 6; {1, 5} mod 6
+    2
+    >>> coprime_count_in_primorial_interval(5)   # q = 30; phi(30) = 8
+    8
+    """
+    out = 1
+    for p in primes_up_to(q_limit):
+        out *= p - 1
+    return out
+
+
+def coprime_gap_statistics(q: int, bounds: Iterable[int]) -> dict[str, float]:
+    """Statistics of the gap ``bound - largest_coprime_below(bound, q)``.
+
+    Used by experiment E5 to show the pessimism of the worst-case bound
+    ``g <= q`` (the paper: "in practice, one can expect the value of g to be
+    much lower than q").
+
+    Returns a dict with keys ``max``, ``mean``, ``q`` and ``count``.
+    """
+    gaps = []
+    for b in bounds:
+        c = largest_coprime_below(b, q)
+        gaps.append(b - c)
+    if not gaps:
+        return {"max": 0.0, "mean": 0.0, "q": float(q), "count": 0.0}
+    return {
+        "max": float(max(gaps)),
+        "mean": float(sum(gaps)) / len(gaps),
+        "q": float(q),
+        "count": float(len(gaps)),
+    }
+
+
+def euler_phi(n: int) -> int:
+    """Euler's totient function (used to cross-check interval counts).
+
+    >>> euler_phi(30)
+    8
+    >>> euler_phi(1)
+    1
+    """
+    if n < 1:
+        raise ValueError(f"euler_phi needs n >= 1, got {n}")
+    out = n
+    m = n
+    for p in primes_up_to(math.isqrt(n)):
+        if m % p == 0:
+            out -= out // p
+            while m % p == 0:
+                m //= p
+    if m > 1:
+        out -= out // m
+    return out

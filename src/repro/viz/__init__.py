@@ -1,0 +1,17 @@
+"""ASCII renderers for the paper's structural figures (1, 2 and 3)."""
+
+from .ascii import CharGrid
+from .figures import (
+    render_zones_and_blocks,
+    render_indexing_positions,
+    render_tbs_layout,
+    render_lbc_iteration,
+)
+
+__all__ = [
+    "CharGrid",
+    "render_zones_and_blocks",
+    "render_indexing_positions",
+    "render_tbs_layout",
+    "render_lbc_iteration",
+]

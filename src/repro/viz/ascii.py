@@ -1,0 +1,54 @@
+"""A tiny character-grid canvas for rendering matrix diagrams in text.
+
+The paper's figures are structural (which element belongs to which block /
+zone / panel), so a character per matrix element is a faithful rendering.
+``CharGrid`` keeps bounds-checked cells plus optional row/column rulers.
+"""
+
+from __future__ import annotations
+
+
+class CharGrid:
+    """A rows x cols grid of single characters with simple drawing helpers."""
+
+    def __init__(self, rows: int, cols: int, fill: str = "."):
+        if rows < 0 or cols < 0:
+            raise ValueError(f"grid dims must be >= 0, got {rows} x {cols}")
+        if len(fill) != 1:
+            raise ValueError("fill must be a single character")
+        self.rows = rows
+        self.cols = cols
+        self._cells = [[fill] * cols for _ in range(rows)]
+
+    def put(self, r: int, c: int, ch: str) -> None:
+        """Set one cell (single character; bounds-checked)."""
+        if len(ch) != 1:
+            raise ValueError("cell value must be a single character")
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise IndexError(f"({r}, {c}) outside {self.rows} x {self.cols} grid")
+        self._cells[r][c] = ch
+
+    def get(self, r: int, c: int) -> str:
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise IndexError(f"({r}, {c}) outside {self.rows} x {self.cols} grid")
+        return self._cells[r][c]
+
+    def fill_rect(self, r0: int, r1: int, c0: int, c1: int, ch: str) -> None:
+        """Fill the half-open rectangle [r0, r1) x [c0, c1)."""
+        for r in range(r0, r1):
+            for c in range(c0, c1):
+                self.put(r, c, ch)
+
+    def render(self, rulers: bool = False) -> str:
+        """Render as newline-joined text, optionally with mod-10 rulers."""
+        lines = []
+        if rulers:
+            header = "   " + "".join(str(c % 10) for c in range(self.cols))
+            lines.append(header)
+        for r, row in enumerate(self._cells):
+            prefix = f"{r:>2} " if rulers else ""
+            lines.append(prefix + "".join(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

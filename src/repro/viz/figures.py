@@ -1,0 +1,119 @@
+"""Text renderings of the paper's Figures 1–3 (experiment E5 & E6 visuals).
+
+* :func:`render_zones_and_blocks` — Figure 1: the ``k(k-1)/2`` square zones
+  of the result matrix, with selected triangle blocks overlaid (each block
+  places exactly one element per zone);
+* :func:`render_indexing_positions` — Figure 2 (left): the position
+  ``f_{i,j}(u)`` of a block's row within each zone-row;
+* :func:`render_tbs_layout` — Figure 2 (right): which part of ``C`` is
+  computed by triangle blocks, recursion, and the OOC_SYRK strip;
+* :func:`render_lbc_iteration` — Figure 3: the three panels LBC touches at
+  iteration ``i`` (OOC_CHOL / OOC_TRSM / TBS).
+
+Rendered from the *actual* partition objects, so the figures are witnesses
+of the implementation, not drawings.
+"""
+
+from __future__ import annotations
+
+from ..core.partition import TBSPartition, plan_partition
+from ..errors import ConfigurationError
+from .ascii import CharGrid
+
+_BLOCK_CHARS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def render_zones_and_blocks(
+    part: TBSPartition, blocks: list[tuple[int, int]] | None = None, rulers: bool = True
+) -> str:
+    """Figure 1: square zones (shaded by zone) + chosen triangle blocks.
+
+    ``blocks`` is a list of ``(i, j)`` block ids to overlay (letters);
+    defaults to the first two.  Zone interiors are drawn with ``-`` / ``=``
+    alternating so zone boundaries are visible; the strict upper triangle
+    stays blank.
+    """
+    n = part.covered
+    grid = CharGrid(n, n, fill=" ")
+    # Shade the inter-group zones (strictly below the block-diagonal groups).
+    for u in range(part.k):
+        for v in range(u):
+            ch = "-" if (u + v) % 2 == 0 else "="
+            grid.fill_rect(u * part.c, (u + 1) * part.c, v * part.c, (v + 1) * part.c, ch)
+    # Diagonal (triangular) zones: recursion territory.
+    for u in range(part.k):
+        base = u * part.c
+        for r in range(part.c):
+            for c2 in range(r):
+                grid.put(base + r, base + c2, "+")
+    if blocks is None:
+        blocks = [(0, 0), (1, 0)][: max(1, min(2, part.c))]
+    for which, (bi, bj) in enumerate(blocks):
+        ch = _BLOCK_CHARS[which % len(_BLOCK_CHARS)]
+        rows = sorted(int(r) for r in part.block_rows(bi, bj))
+        for a_idx, r in enumerate(rows):
+            for rp in rows[:a_idx]:
+                grid.put(r, rp, ch)
+    return grid.render(rulers=rulers)
+
+
+def render_indexing_positions(part: TBSPartition, i: int, j: int) -> str:
+    """Figure 2 (left): one line per zone-row ``u`` with the block's position."""
+    lines = [f"block (i={i}, j={j}) of a ({part.c}, {part.k}) cyclic indexing family:"]
+    for u in range(part.k):
+        pos = part.family.position(i, j, u)
+        cells = ["."] * part.c
+        cells[pos] = "*"
+        lines.append(f"  u={u}: [" + "".join(cells) + f"]  f({u}) = {pos}")
+    return "\n".join(lines)
+
+
+def render_tbs_layout(n: int, k: int, rulers: bool = False) -> str:
+    """Figure 2 (right): triangle blocks / recursion / OOC_SYRK strip regions.
+
+    ``T`` marks elements covered by triangle blocks (square zones), ``r``
+    the recursive diagonal zones, ``s`` the leftover OOC_SYRK strip, and
+    ``F`` everything when the partition is infeasible (full fallback).
+    """
+    part = plan_partition(n, k)
+    grid = CharGrid(n, n, fill=" ")
+    if part is None:
+        for r in range(n):
+            for c2 in range(r + 1):
+                grid.put(r, c2, "F")
+        return grid.render(rulers=rulers)
+    ck = part.covered
+    for r in range(n):
+        for c2 in range(r + 1):
+            if r >= ck:
+                grid.put(r, c2, "s")
+            elif (r // part.c) == (c2 // part.c):
+                grid.put(r, c2, "r")
+            else:
+                grid.put(r, c2, "T")
+    return grid.render(rulers=rulers)
+
+
+def render_lbc_iteration(n: int, b: int, i: int, rulers: bool = False) -> str:
+    """Figure 3: the panels LBC touches at iteration ``i``.
+
+    ``C`` = OOC_CHOL diagonal block, ``t`` = OOC_TRSM panel, ``S`` = TBS
+    trailing downdate, ``L`` = already-final factor columns, `` `` = upper.
+    """
+    if b < 1 or n % b != 0:
+        raise ConfigurationError(f"b={b} must divide n={n}")
+    if not 0 <= i < n // b:
+        raise ConfigurationError(f"iteration {i} out of range for {n // b} blocks")
+    grid = CharGrid(n, n, fill=" ")
+    lo, hi = i * b, (i + 1) * b
+    for r in range(n):
+        for c2 in range(r + 1):
+            if c2 < lo:
+                grid.put(r, c2, "L")
+            elif r < hi and c2 >= lo:
+                grid.put(r, c2, "C")
+            elif lo <= c2 < hi:
+                grid.put(r, c2, "t")
+            else:
+                grid.put(r, c2, "S")
+    return grid.render(rulers=rulers)

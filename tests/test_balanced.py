@@ -1,0 +1,150 @@
+"""Tests for the Section 4 proof machinery: balanced solutions, P'/P'', Thm 4.1."""
+
+import math
+
+import pytest
+
+from repro.core.balanced import (
+    BalancedSolution,
+    balanced_solution,
+    balanced_solution_cost,
+    check_rebalancing_dominates,
+    enumerate_balanced_optimum,
+    max_ops_bound,
+    rebalance,
+    rebalancing_slack,
+    solve_p_doubleprime,
+    syrk_oi_ceiling_from_bound,
+)
+from repro.core.triangle import sigma
+from repro.errors import ConfigurationError
+from repro.kernels.opsets import data_accessed
+
+
+class TestBalancedSolution:
+    def test_shape_identities(self):
+        b = balanced_solution(10, 4)
+        assert b.full_iterations == 2
+        assert b.remainder == 2
+        assert b.size() == 10
+
+    def test_data_accessed_formula(self):
+        b = balanced_solution(10, 4)
+        assert b.data_accessed() == 4 + 2 * sigma(4) + sigma(2)
+
+    def test_triples_materialization_consistent(self):
+        for x, m in [(1, 1), (7, 3), (10, 4), (12, 6), (9, 9)]:
+            b = balanced_solution(x, m)
+            triples = b.triples()
+            assert len(triples) == x
+            assert data_accessed(triples) == b.data_accessed()
+
+    def test_no_full_iterations(self):
+        b = balanced_solution(2, 5)  # x < m: only the remainder iteration
+        assert b.full_iterations == 0
+        assert b.data_accessed() == 2 + sigma(2)
+        assert data_accessed(b.triples()) == b.data_accessed()
+
+    def test_cost_helper(self):
+        assert balanced_solution_cost(10, 4) == balanced_solution(10, 4).data_accessed()
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            BalancedSolution(3, 0)
+        with pytest.raises(ConfigurationError):
+            BalancedSolution(-1, 2)
+
+
+class TestRebalance:
+    def test_assigns_max_restriction(self):
+        b = {(1, 0, 0), (2, 0, 0), (2, 1, 0), (1, 0, 1)}
+        bal = rebalance(b)
+        assert bal.x == 4
+        assert bal.m == 3  # iteration 0 has 3 ops
+
+    def test_continuous_dominance_on_examples(self):
+        examples = [
+            {(1, 0, 0), (2, 0, 0), (2, 1, 0), (1, 0, 1)},
+            {(5, 2, 0), (7, 2, 0), (7, 5, 1), (3, 1, 2), (9, 0, 2)},
+            {(i, j, k) for i in range(4) for j in range(i) for k in range(3)},
+        ]
+        for b in examples:
+            assert check_rebalancing_dominates(b)
+
+    def test_integer_slack_counterexample_documented(self):
+        # Restriction sizes (4,3,3): integer rebalancing exceeds the original.
+        t4 = [(1, 0), (2, 0), (2, 1), (3, 0)]
+        t3 = [(1, 0), (2, 0), (2, 1)]
+        b = {(i, j, 0) for i, j in t4} | {(i, j, 1) for i, j in t3} | {(i, j, 2) for i, j in t3}
+        assert rebalancing_slack(b) == 1
+        assert check_rebalancing_dominates(b)  # continuous form still holds
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rebalance([])
+
+
+class TestPDoublePrime:
+    def test_kkt_identities(self):
+        for x in [1.0, 10.0, 100.0, 3000.0]:
+            sol = solve_p_doubleprime(x)
+            # K* I* = (I*-1)(I*-1/2)  (from the KKT analysis)
+            assert sol.k_star * sol.i_star == pytest.approx((sol.i_star - 1) * (sol.i_star - 0.5))
+            # constraint active at optimum
+            assert sol.constraint_slack() == pytest.approx(0.0, abs=1e-9)
+            # objective value identity
+            assert sol.value == pytest.approx(sol.k_star * sol.i_star * (sol.i_star - 1) / 2)
+
+    def test_closed_form_value(self):
+        x = 48.0
+        r = math.sqrt(1 + 6 * x)
+        expected = (r - 1) ** 2 * (2 * r + 1) / 108
+        assert solve_p_doubleprime(x).value == pytest.approx(expected)
+
+    def test_bad_x(self):
+        with pytest.raises(ConfigurationError):
+            solve_p_doubleprime(-1.0)
+
+
+class TestTheorem41:
+    @pytest.mark.parametrize("x", [1, 3, 10, 30, 100, 450, 2000])
+    def test_chain_enumerate_le_continuous_le_bound(self, x):
+        enum = enumerate_balanced_optimum(x)
+        cont = solve_p_doubleprime(float(x))
+        bound = max_ops_bound(float(x))
+        assert enum.value <= cont.value + 1e-9
+        assert cont.value <= bound + 1e-9
+
+    @pytest.mark.parametrize("x", [10, 100, 1000])
+    def test_enumerated_solution_feasible(self, x):
+        opt = enumerate_balanced_optimum(x)
+        assert opt.i * (opt.i - 1) // 2 + opt.k * opt.i + opt.j <= x
+        assert 0 <= opt.j <= opt.i
+        assert opt.value == opt.k * opt.i * (opt.i - 1) // 2 + opt.j * (opt.j - 1) // 2
+
+    def test_bound_tightness_improves_with_x(self):
+        # The integer optimum approaches the continuous bound as X grows.
+        small = enumerate_balanced_optimum(20).value / max_ops_bound(20.0)
+        large = enumerate_balanced_optimum(5000).value / max_ops_bound(5000.0)
+        assert large > small
+        assert large > 0.9
+
+    def test_x3s_yields_oi_ceiling(self):
+        # Lemma 3.1 with X = 3S: rho <= bound(3S) / (2S) = sqrt(S/2).
+        for s in (8, 50, 512):
+            rho = max_ops_bound(3.0 * s) / (2.0 * s)
+            assert rho == pytest.approx(math.sqrt(s / 2.0))
+            assert syrk_oi_ceiling_from_bound(s) == pytest.approx(rho)
+
+    def test_balanced_solutions_respect_bound(self):
+        # Any balanced solution's size obeys Thm 4.1 against its own cost.
+        for x in range(1, 200, 7):
+            for m in range(1, x + 1, 5):
+                b = balanced_solution(x, m)
+                assert b.size() <= max_ops_bound(float(b.data_accessed())) + 1e-9
+
+    def test_bad_x(self):
+        with pytest.raises(ConfigurationError):
+            max_ops_bound(-1.0)
+        with pytest.raises(ConfigurationError):
+            enumerate_balanced_optimum(-3)

@@ -1,0 +1,137 @@
+"""Tests for the lower-bound formulas and OI ceilings (Section 4 corollaries)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    cholesky_lower_bound,
+    cholesky_upper_bound,
+    literature_bounds_table,
+    max_operational_intensity,
+    parallel_cholesky_lower_bound_per_node,
+    parallel_gemm_lower_bound_per_node,
+    syrk_lower_bound,
+    syrk_upper_bound,
+)
+from repro.errors import ConfigurationError
+
+SQRT2 = math.sqrt(2.0)
+
+
+class TestSyrkBound:
+    def test_paper_constant(self):
+        # Corollary 4.7: N^2 M / (sqrt(2) sqrt(S)).
+        assert syrk_lower_bound(100, 10, 64) == pytest.approx(100**2 * 10 / (SQRT2 * 8.0))
+
+    def test_improves_olivry_by_sqrt2(self):
+        ours = syrk_lower_bound(64, 8, 32, which="paper")
+        prior = syrk_lower_bound(64, 8, 32, which="olivry")
+        assert ours / prior == pytest.approx(SQRT2)
+
+    def test_exact_form_below_asymptotic(self):
+        # exact uses N(N-1)/2 < N^2/2.
+        assert syrk_lower_bound(50, 5, 16, form="exact") < syrk_lower_bound(50, 5, 16)
+
+    def test_upper_bounds_order(self):
+        # TBS upper < Bereux upper, both >= the paper lower bound.
+        n, m, s = 1000, 100, 128
+        lb = syrk_lower_bound(n, m, s)
+        tbs = syrk_upper_bound(n, m, s, "tbs")
+        ber = syrk_upper_bound(n, m, s, "bereux")
+        assert lb <= tbs < ber
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            syrk_lower_bound(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            syrk_lower_bound(1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            syrk_lower_bound(1, 1, 1, which="nope")
+        with pytest.raises(ConfigurationError):
+            syrk_lower_bound(1, 1, 1, form="nope")
+
+
+class TestCholeskyBound:
+    def test_paper_constant(self):
+        assert cholesky_lower_bound(90, 49) == pytest.approx(90**3 / (3 * SQRT2 * 7.0))
+
+    def test_ordering_of_literature_bounds(self):
+        n, s = 500, 100
+        olivry = cholesky_lower_bound(n, s, which="olivry")
+        paper = cholesky_lower_bound(n, s, which="paper")
+        kwas = cholesky_lower_bound(n, s, which="kwasniewski")
+        assert olivry < paper < kwas  # kwasniewski assumed no symmetric reuse
+
+    def test_paper_improves_olivry_by_sqrt2(self):
+        a = cholesky_lower_bound(77, 33, which="paper")
+        b = cholesky_lower_bound(77, 33, which="olivry")
+        assert a / b == pytest.approx(SQRT2)
+
+    def test_upper_bounds(self):
+        n, s = 2000, 256
+        assert cholesky_upper_bound(n, s, "lbc") == pytest.approx(n**3 / (3 * math.sqrt(2 * s)))
+        assert cholesky_upper_bound(n, s, "bereux") / cholesky_upper_bound(n, s, "lbc") == pytest.approx(SQRT2)
+
+    def test_lbc_upper_matches_lower(self):
+        # The paper's punchline: upper bound == lower bound (leading term).
+        n, s = 10_000, 1024
+        assert cholesky_upper_bound(n, s, "lbc") == pytest.approx(cholesky_lower_bound(n, s))
+
+
+class TestOICeilings:
+    def test_symmetric_vs_gemm_factor(self):
+        s = 200
+        sym = max_operational_intensity(s, "symmetric", "mults")
+        gem = max_operational_intensity(s, "gemm", "mults")
+        assert gem / sym == pytest.approx(SQRT2)
+
+    def test_flops_vs_mults(self):
+        s = 128
+        assert max_operational_intensity(s, "symmetric", "flops") == pytest.approx(math.sqrt(2 * s))
+        assert max_operational_intensity(s, "symmetric", "mults") == pytest.approx(math.sqrt(s / 2))
+        assert max_operational_intensity(s, "gemm", "flops") == pytest.approx(2 * math.sqrt(s))
+
+    def test_symmetric_flops_ceiling_exceeds_gemm_mults(self):
+        # sqrt(2S) > sqrt(S): per flop the symmetric kernels are higher —
+        # the "intrinsically higher OI" headline.
+        s = 64
+        assert max_operational_intensity(s, "symmetric", "flops") > max_operational_intensity(s, "gemm", "mults")
+
+    def test_bad_kernel(self):
+        with pytest.raises(ConfigurationError):
+            max_operational_intensity(10, "qr")
+
+
+class TestLiteratureTable:
+    def test_four_contributions(self):
+        table = literature_bounds_table()
+        assert len(table) == 4
+        for row in table:
+            if row["quantity"] == "lower bound":
+                # bounds were raised by sqrt(2)
+                assert row["after"] == pytest.approx(row["before"] * SQRT2)
+            else:
+                # algorithm volumes were cut by sqrt(2)
+                assert row["after"] == pytest.approx(row["before"] / SQRT2)
+
+    def test_gap_closed(self):
+        table = literature_bounds_table()
+        syrk = [r for r in table if r["kernel"] == "SYRK"]
+        chol = [r for r in table if r["kernel"] == "Cholesky"]
+        # after the paper, lower bound == algorithm constant for both kernels
+        assert syrk[0]["after"] == pytest.approx(syrk[1]["after"])
+        assert chol[0]["after"] == pytest.approx(chol[1]["after"])
+
+
+class TestParallelBounds:
+    def test_cholesky_per_node(self):
+        assert parallel_cholesky_lower_bound_per_node(100, 4, 25) == pytest.approx(100**3 / (4 * 5))
+
+    def test_gemm_per_node(self):
+        v = parallel_gemm_lower_bound_per_node(10, 20, 30, 2, 16)
+        assert v == pytest.approx(10 * 20 * 30 / (2 * SQRT2 * 2 * 4) - 16)
+
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            parallel_cholesky_lower_bound_per_node(10, 0, 4)

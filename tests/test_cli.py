@@ -1,0 +1,46 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "TBS" in out and "OOC_SYRK" in out and "lower bound" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--n", "27", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 3" in out
+        assert "f(0)" in out  # indexing positions
+
+    def test_figures_fallback(self, capsys):
+        assert main(["figures", "--n", "8", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "not applicable" in out
+
+    def test_sweep_syrk(self, capsys):
+        assert main(["sweep", "syrk", "--s", "15", "--m", "4", "--ns", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "tbs" in out and "ocs" in out and "True" in out
+
+    def test_sweep_cholesky(self, capsys):
+        assert main(["sweep", "cholesky", "--s", "15", "--ns", "36"]) == 0
+        out = capsys.readouterr().out
+        assert "lbc" in out and "occ" in out
+
+    def test_constants(self, capsys):
+        assert main(["constants"]) == 0
+        out = capsys.readouterr().out
+        assert "0.7071" in out and "0.2357" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

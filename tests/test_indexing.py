@@ -1,0 +1,116 @@
+"""Tests for indexing families (Definitions 5.1-5.4, Lemmas 5.3 and 5.5)."""
+
+import math
+
+import pytest
+
+from repro.core.indexing import (
+    CyclicIndexingFamily,
+    IndexingFamily,
+    block_row_indices,
+    blocks_are_disjoint,
+    cyclic_family_is_applicable,
+    is_valid_indexing_family,
+)
+from repro.errors import ConfigurationError
+from repro.utils.primes import primorial_up_to
+
+
+class TestCyclicDefinition:
+    @pytest.mark.parametrize("c,k", [(5, 4), (5, 5), (7, 5), (11, 6), (7, 4)])
+    def test_anchoring(self, c, k):
+        fam = CyclicIndexingFamily(c, k)
+        fam.check_definition()  # f(0) = j, f(1) = i
+
+    def test_formula(self):
+        fam = CyclicIndexingFamily(5, 4)
+        assert fam.position(2, 3, 0) == 3
+        assert fam.position(2, 3, 1) == 2
+        assert fam.position(2, 3, 2) == (2 + 3 * 1) % 5
+        assert fam.position(2, 3, 3) == (2 + 3 * 2) % 5
+
+    def test_out_of_range(self):
+        fam = CyclicIndexingFamily(5, 4)
+        with pytest.raises(ConfigurationError):
+            fam.position(5, 0, 0)
+        with pytest.raises(ConfigurationError):
+            fam.position(0, 0, 4)
+
+    def test_rows_equation_1(self):
+        fam = CyclicIndexingFamily(5, 4)
+        rows = fam.rows(2, 3)
+        assert list(rows) == [0 * 5 + 3, 1 * 5 + 2, 2 * 5 + (2 + 3) % 5, 3 * 5 + (2 + 6) % 5]
+
+    def test_block_row_indices_helper(self):
+        assert list(block_row_indices(5, 4, 2, 3)) == list(CyclicIndexingFamily(5, 4).rows(2, 3))
+
+
+class TestLemma55:
+    """c >= k-1 and c coprime with [2, k-2]  =>  the cyclic family is valid."""
+
+    @pytest.mark.parametrize(
+        "c,k",
+        [(5, 4), (5, 5), (7, 5), (7, 6), (11, 6), (11, 7), (13, 7), (25, 5), (29, 6)],
+    )
+    def test_applicable_families_are_valid(self, c, k):
+        assert cyclic_family_is_applicable(c, k)
+        fam = CyclicIndexingFamily(c, k)
+        assert is_valid_indexing_family(fam)
+
+    @pytest.mark.parametrize("c,k", [(5, 4), (7, 5), (11, 6)])
+    def test_validity_implies_disjoint_blocks(self, c, k):
+        # Lemma 5.3: valid family => pairwise disjoint triangle blocks.
+        fam = CyclicIndexingFamily(c, k)
+        assert blocks_are_disjoint(fam)
+
+    @pytest.mark.parametrize("c,k", [(6, 5), (8, 6), (9, 5), (10, 6)])
+    def test_non_coprime_c_is_invalid(self, c, k):
+        # When c shares a factor with some d in [2, k-2], the cyclic family
+        # collides (two blocks agree on two zone-rows) -> blocks overlap.
+        assert not cyclic_family_is_applicable(c, k)
+        fam = CyclicIndexingFamily(c, k, check=False)
+        assert not is_valid_indexing_family(fam)
+        assert not blocks_are_disjoint(fam)
+
+    def test_c_below_k_minus_1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CyclicIndexingFamily(3, 5)
+
+    def test_applicability_predicate(self):
+        assert cyclic_family_is_applicable(5, 5)      # gcd(5, 6) = 1
+        assert not cyclic_family_is_applicable(6, 5)  # gcd(6, 6) = 6
+        assert not cyclic_family_is_applicable(3, 5)  # c < k-1
+        q = primorial_up_to(8 - 2)
+        for c in range(7, 60):
+            assert cyclic_family_is_applicable(c, 8) == (math.gcd(c, q) == 1)
+
+    def test_k2_and_k3_always_applicable_when_large(self):
+        # [2, k-2] is empty for k <= 3: every c >= k-1 works.
+        assert cyclic_family_is_applicable(2, 3)
+        assert cyclic_family_is_applicable(1, 2)
+        assert is_valid_indexing_family(CyclicIndexingFamily(4, 3))
+
+
+class TestValidityPredicate:
+    def test_injectivity_logic(self):
+        # A hand-built invalid family: constant on u >= 2.
+        class Bad(IndexingFamily):
+            def position(self, i, j, u):
+                if u == 0:
+                    return j
+                if u == 1:
+                    return i
+                return 0  # every block agrees on rows u=2,3,... -> invalid
+
+        fam = Bad(4, 4)
+        assert not is_valid_indexing_family(fam)
+        assert not blocks_are_disjoint(fam)
+
+    def test_all_rows_count(self):
+        fam = CyclicIndexingFamily(5, 4)
+        rows = fam.all_rows()
+        assert len(rows) == 25
+        for (_i, _j), r in rows.items():
+            assert len(r) == 4
+            # one row per zone-row group
+            assert sorted(v // 5 for v in r) == [0, 1, 2, 3]

@@ -1,0 +1,227 @@
+"""Tests for the in-memory reference kernels and work-count formulas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, VerificationError
+from repro.kernels.flops import (
+    cholesky_flops,
+    cholesky_mults,
+    cholesky_update_mults,
+    gemm_mults,
+    lu_flops,
+    lu_mults,
+    syrk_flops,
+    syrk_mults,
+    trsm_flops,
+    trsm_mults,
+)
+from repro.kernels.opsets import (
+    cholesky_update_count,
+    data_accessed,
+    data_accessed_no_symmetry,
+    iter_cholesky_updates,
+    iter_syrk_ops,
+    restriction,
+    symmetric_footprint,
+    syrk_opset_size,
+)
+from repro.kernels.reference import (
+    cholesky_element_loops,
+    cholesky_lower_in_place,
+    cholesky_reference,
+    gemm_reference,
+    lu_nopivot_in_place,
+    lu_nopivot_reference,
+    syrk_element_loops,
+    syrk_reference,
+    trsm_element_loops,
+    trsm_right_lower_transpose,
+)
+from repro.utils.rng import (
+    random_diag_dominant_matrix,
+    random_lower_triangular,
+    random_spd_matrix,
+    random_tall_matrix,
+)
+
+
+class TestSyrkReference:
+    def test_vectorized_matches_element_loops(self):
+        a = random_tall_matrix(7, 4, seed=0)
+        c = random_tall_matrix(7, 7, seed=1)
+        np.testing.assert_allclose(
+            syrk_reference(a, c), syrk_element_loops(a, c), rtol=1e-12
+        )
+
+    def test_upper_triangle_untouched(self):
+        a = random_tall_matrix(5, 3, seed=2)
+        c = np.full((5, 5), 7.0)
+        out = syrk_reference(a, c)
+        np.testing.assert_array_equal(np.triu(out, 1), np.triu(c, 1))
+
+    def test_sign(self):
+        a = random_tall_matrix(4, 2, seed=3)
+        out = syrk_reference(a, sign=-1.0)
+        np.testing.assert_allclose(out, -np.tril(a @ a.T), rtol=1e-12)
+
+    def test_default_zero_c(self):
+        a = random_tall_matrix(4, 2, seed=4)
+        np.testing.assert_allclose(syrk_reference(a), np.tril(a @ a.T))
+
+
+class TestCholeskyReference:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12, 30])
+    def test_matches_numpy(self, n):
+        a = random_spd_matrix(n, seed=n)
+        np.testing.assert_allclose(cholesky_reference(a), np.linalg.cholesky(a), rtol=1e-9)
+
+    def test_element_loops_match(self):
+        a = random_spd_matrix(9, seed=5)
+        np.testing.assert_allclose(
+            cholesky_element_loops(a), np.linalg.cholesky(a), rtol=1e-9
+        )
+
+    def test_in_place_ignores_upper_garbage(self):
+        a = random_spd_matrix(6, seed=6)
+        work = np.tril(a).copy()
+        work += np.triu(np.full((6, 6), np.nan), 1)  # poison the upper part
+        cholesky_lower_in_place(work)
+        np.testing.assert_allclose(np.tril(work), np.linalg.cholesky(a), rtol=1e-9)
+
+    def test_nonpositive_pivot_raises(self):
+        bad = np.array([[1.0, 0.0], [0.0, -1.0]])
+        with pytest.raises(VerificationError):
+            cholesky_reference(bad)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cholesky_lower_in_place(np.zeros((2, 3)))
+
+
+class TestTrsm:
+    @pytest.mark.parametrize("n,mrows", [(1, 1), (4, 7), (9, 3)])
+    def test_solves(self, n, mrows):
+        l = random_lower_triangular(n, seed=n)
+        b = random_tall_matrix(mrows, n, seed=n + 1)
+        x = trsm_right_lower_transpose(l, b)
+        np.testing.assert_allclose(x @ np.tril(l).T, b, rtol=1e-9, atol=1e-9)
+
+    def test_element_loops_match(self):
+        l = random_lower_triangular(6, seed=8)
+        b = random_tall_matrix(4, 6, seed=9)
+        np.testing.assert_allclose(
+            trsm_element_loops(l, b), trsm_right_lower_transpose(l, b), rtol=1e-9
+        )
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            trsm_right_lower_transpose(np.eye(3), np.zeros((2, 4)))
+
+
+class TestGemmAndLu:
+    def test_gemm(self):
+        a = random_tall_matrix(4, 3, seed=10)
+        b = random_tall_matrix(3, 5, seed=11)
+        np.testing.assert_allclose(gemm_reference(a, b), a @ b, rtol=1e-12)
+        c = np.ones((4, 5))
+        np.testing.assert_allclose(gemm_reference(a, b, c, sign=-1.0), c - a @ b, rtol=1e-12)
+
+    def test_gemm_dim_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            gemm_reference(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    @pytest.mark.parametrize("n", [1, 2, 6, 15])
+    def test_lu_reconstructs(self, n):
+        a = random_diag_dominant_matrix(n, seed=n)
+        l, u = lu_nopivot_reference(a)
+        np.testing.assert_allclose(l @ u, a, rtol=1e-9)
+        np.testing.assert_allclose(np.diag(l), 1.0)
+        assert np.allclose(np.triu(l, 1), 0)
+        assert np.allclose(np.tril(u, -1), 0)
+
+    def test_lu_zero_pivot(self):
+        with pytest.raises(VerificationError):
+            lu_nopivot_in_place(np.zeros((2, 2)))
+
+
+class TestOpsets:
+    @pytest.mark.parametrize("n,m", [(2, 1), (4, 3), (7, 2)])
+    def test_syrk_size_matches_enumeration(self, n, m):
+        assert syrk_opset_size(n, m) == sum(1 for _ in iter_syrk_ops(n, m))
+
+    @pytest.mark.parametrize("n", [3, 4, 6, 9])
+    def test_cholesky_count_matches_enumeration(self, n):
+        assert cholesky_update_count(n) == sum(1 for _ in iter_cholesky_updates(n))
+
+    def test_triples_are_ordered(self):
+        for (i, j, k) in iter_cholesky_updates(6):
+            assert i > j > k
+        for (i, j, k) in iter_syrk_ops(5, 3):
+            assert i > j and 0 <= k < 3
+
+    def test_restriction_and_footprint(self):
+        b = [(3, 1, 0), (2, 0, 0), (3, 1, 1)]
+        assert restriction(b, 0) == {(3, 1), (2, 0)}
+        assert restriction(b, 1) == {(3, 1)}
+        assert symmetric_footprint({(3, 1), (2, 0)}) == {0, 1, 2, 3}
+
+    def test_data_accessed_example(self):
+        # One C element updated at two iterations: 1 + 2 + 2 = 5.
+        assert data_accessed([(1, 0, 0), (1, 0, 1)]) == 5
+
+    def test_data_accessed_counts_distinct(self):
+        # Triangle T on one iteration: 3 C elements, 3 A elements.
+        b = [(1, 0, 0), (2, 0, 0), (2, 1, 0)]
+        assert data_accessed(b) == 6
+
+    def test_no_symmetry_never_smaller(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            b = {
+                (int(i), int(j), int(k))
+                for i, j, k in zip(
+                    rng.integers(1, 8, 10), rng.integers(0, 7, 10), rng.integers(0, 4, 10)
+                )
+                if i > j
+            }
+            if b:
+                assert data_accessed_no_symmetry(b) >= data_accessed(b)
+
+    def test_symmetry_saving_on_triangle(self):
+        # A full triangle at one iteration: footprint 3 vs 3+3 rows+cols... the
+        # no-symmetry count treats row and column uses separately.
+        b = [(1, 0, 0), (2, 0, 0), (2, 1, 0)]
+        assert data_accessed_no_symmetry(b) == 3 + 2 + 2
+        assert data_accessed(b) == 3 + 3
+
+
+class TestFlops:
+    def test_syrk_counts_match_enumeration(self):
+        n, m = 6, 4
+        assert syrk_mults(n, m, include_diagonal=False) == sum(1 for _ in iter_syrk_ops(n, m))
+        assert syrk_mults(n, m) == n * (n + 1) // 2 * m
+        assert syrk_flops(n, m) == 2 * syrk_mults(n, m)
+
+    def test_cholesky_counts_match_enumeration(self):
+        n = 7
+        strict_updates = sum(1 for _ in iter_cholesky_updates(n))
+        assert cholesky_update_mults(n) == strict_updates
+        # Algorithm 2's loop includes j == i: count all updates directly.
+        all_updates = sum(
+            1
+            for k in range(n)
+            for i in range(k + 1, n)
+            for j in range(k + 1, i + 1)
+        )
+        assert all_updates == (n**3 - n) // 6
+        assert cholesky_mults(n) == all_updates + n * (n - 1) // 2
+        assert cholesky_flops(n) == 2 * all_updates + n * (n - 1) // 2 + n
+
+    def test_gemm_trsm_lu(self):
+        assert gemm_mults(2, 3, 4) == 24
+        assert trsm_mults(3, 5) == 5 * (3 + 3)
+        assert trsm_flops(3, 5) == 5 * (2 * 3 + 3)
+        # LU: updates sum (n-k-1)^2 + divisions n(n-1)/2
+        assert lu_mults(3) == (4 + 1 + 0) + 3
+        assert lu_flops(3) == 2 * 5 + 3

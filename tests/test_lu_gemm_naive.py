@@ -1,0 +1,139 @@
+"""Tests for the LU / GEMM comparators and the naive LRU schedules."""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.analysis.model import ooc_gemm_model, ooc_lu_model
+from repro.baselines.gemm import ooc_gemm
+from repro.baselines.lu import ooc_lu
+from repro.baselines.naive import naive_cholesky_lru, naive_syrk_lru
+from repro.baselines.ooc_syrk import ooc_syrk
+from repro.errors import ConfigurationError
+from repro.kernels.reference import cholesky_reference, lu_nopivot_reference, syrk_reference
+from repro.utils.rng import random_diag_dominant_matrix, random_spd_matrix, random_tall_matrix
+
+
+class TestOocLu:
+    def run(self, n, s=15, seed=0):
+        a = random_diag_dominant_matrix(n, seed=seed)
+        m = TwoLevelMachine(s)
+        m.add_matrix("A", a)
+        stats = ooc_lu(m, "A", range(n))
+        m.assert_empty()
+        return a, m, stats
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 13, 24])
+    def test_numerics(self, n):
+        a, m, _ = self.run(n)
+        l_ref, u_ref = lu_nopivot_reference(a)
+        got = m.result("A")
+        np.testing.assert_allclose(np.tril(got, -1), np.tril(l_ref, -1), rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(np.triu(got), u_ref, rtol=1e-8, atol=1e-10)
+
+    @pytest.mark.parametrize("n,s", [(10, 15), (24, 15), (17, 24)])
+    def test_measured_equals_model(self, n, s):
+        _, _, stats = self.run(n, s=s)
+        pred = ooc_lu_model(n, s)
+        assert stats.loads == pred.loads
+        assert stats.stores == pred.stores
+
+    def test_peak_within_capacity(self):
+        _, _, stats = self.run(20, s=15)
+        assert stats.peak_occupancy <= 15
+
+    def test_lu_costs_about_twice_cholesky(self):
+        # Kwasniewski constants: LU 2/3 vs Cholesky-baseline 1/3 (same S).
+        from repro.analysis.model import ooc_chol_model
+
+        n, s = 60, 15
+        lu = ooc_lu_model(n, s).loads
+        chol = ooc_chol_model(n, s).loads
+        assert 1.6 < lu / chol < 2.4
+
+
+class TestOocGemm:
+    def test_numerics(self):
+        a = random_tall_matrix(8, 5, seed=1)
+        b = random_tall_matrix(5, 7, seed=2)
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", a)
+        m.add_matrix("B", b)
+        m.add_matrix("C", np.zeros((8, 7)))
+        stats = ooc_gemm(m, "A", "B", "C", range(8), range(5), range(7))
+        m.assert_empty()
+        np.testing.assert_allclose(m.result("C"), a @ b, rtol=1e-10)
+        pred = ooc_gemm_model(8, 5, 7, 15)
+        assert stats.loads == pred.loads
+
+    def test_sign_and_accumulate(self):
+        a = random_tall_matrix(4, 3, seed=3)
+        b = random_tall_matrix(3, 4, seed=4)
+        c0 = np.ones((4, 4))
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", a)
+        m.add_matrix("B", b)
+        m.add_matrix("C", c0)
+        ooc_gemm(m, "A", "B", "C", range(4), range(3), range(4), sign=-1.0)
+        np.testing.assert_allclose(m.result("C"), c0 - a @ b, rtol=1e-10)
+
+    def test_oversized_tile_rejected(self):
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", np.zeros((4, 4)))
+        m.add_matrix("B", np.zeros((4, 4)))
+        m.add_matrix("C", np.zeros((4, 4)))
+        with pytest.raises(ConfigurationError):
+            ooc_gemm(m, "A", "B", "C", range(4), range(4), range(4), tile=5)
+
+
+class TestNaiveLru:
+    @pytest.mark.parametrize("order", ["ijk", "ikj", "kij"])
+    def test_syrk_result_correct(self, order):
+        a = random_tall_matrix(8, 3, seed=5)
+        _, c = naive_syrk_lru(a, capacity=15, order=order)
+        np.testing.assert_allclose(np.tril(c), np.tril(syrk_reference(a)), rtol=1e-10)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            naive_syrk_lru(np.zeros((2, 2)), 4, order="jki")
+
+    def test_cholesky_result_correct(self):
+        a = random_spd_matrix(10, seed=6)
+        _, l = naive_cholesky_lru(a, capacity=15)
+        np.testing.assert_allclose(l, cholesky_reference(a), rtol=1e-9)
+
+    def test_naive_blows_up_vs_blocked(self):
+        # E9's point: once a row of A no longer fits in fast memory
+        # (M > S), the naive order pays ~2 loads per multiply while the
+        # blocked schedule streams each column past a resident tile.
+        n, mc, s = 16, 20, 15
+        a = random_tall_matrix(n, mc, seed=7)
+        pm, _ = naive_syrk_lru(a, capacity=s, order="ijk")
+        m = TwoLevelMachine(s)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((n, n)))
+        blocked = ooc_syrk(m, "A", "C", range(n), range(mc))
+        assert pm.loads > 2.0 * blocked.loads
+
+    def test_naive_loses_row_reuse_when_m_exceeds_s(self):
+        # With M <= S the ijk order keeps row i resident (about M loads per
+        # C element); with M > S it degenerates to ~2M loads per element.
+        n, s = 14, 15
+        small = naive_syrk_lru(random_tall_matrix(n, 6, seed=1), s, "ijk")[0]
+        big = naive_syrk_lru(random_tall_matrix(n, 20, seed=1), s, "ijk")[0]
+        per_op_small = small.loads / small.mults
+        per_op_big = big.loads / big.mults
+        assert per_op_small < 1.2
+        assert per_op_big > 1.8
+
+    def test_naive_small_enough_fits(self):
+        # If everything fits in fast memory, LRU loads each element once.
+        a = random_tall_matrix(3, 2, seed=8)
+        pm, _ = naive_syrk_lru(a, capacity=100)
+        assert pm.loads == 3 * 2 + 3 * (3 + 1) // 2
+
+    def test_cholesky_io_counts(self):
+        a = random_spd_matrix(12, seed=9)
+        pm, _ = naive_cholesky_lru(a, capacity=10)
+        assert pm.loads > 12 * 13 // 2  # must reload
+        assert pm.stores >= 12 * 13 // 2 - 10  # results written back

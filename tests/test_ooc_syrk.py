@@ -1,0 +1,157 @@
+"""Tests for the OOC_SYRK baseline: numerics, exact model match, invariants."""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.analysis.model import ooc_syrk_model, ooc_syrk_rect_model, ooc_syrk_strip_model
+from repro.baselines.ooc_syrk import ooc_syrk, ooc_syrk_rect, ooc_syrk_strip
+from repro.core.bounds import syrk_lower_bound
+from repro.errors import ConfigurationError
+from repro.kernels.flops import syrk_mults
+from repro.kernels.reference import syrk_reference
+from repro.utils.rng import random_tall_matrix
+
+
+def run_syrk(n, mc, s=15, sign=1.0, seed=0, c0=None, **kw):
+    a = random_tall_matrix(n, mc, seed=seed)
+    m = TwoLevelMachine(s)
+    m.add_matrix("A", a)
+    m.add_matrix("C", np.zeros((n, n)) if c0 is None else c0)
+    stats = ooc_syrk(m, "A", "C", range(n), range(mc), sign=sign, **kw)
+    m.assert_empty()
+    return a, m, stats
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("n,mc", [(1, 1), (3, 2), (7, 5), (10, 3), (23, 4)])
+    def test_matches_reference(self, n, mc):
+        a, m, _ = run_syrk(n, mc)
+        np.testing.assert_allclose(
+            np.tril(m.result("C")), np.tril(syrk_reference(a)), rtol=1e-10, atol=1e-12
+        )
+
+    def test_accumulates_into_existing_c(self):
+        c0 = np.arange(49, dtype=float).reshape(7, 7)
+        a, m, _ = run_syrk(7, 3, c0=c0.copy())
+        np.testing.assert_allclose(
+            np.tril(m.result("C")), np.tril(syrk_reference(a, c0)), rtol=1e-10
+        )
+
+    def test_negative_sign(self):
+        a, m, _ = run_syrk(9, 2, sign=-1.0)
+        np.testing.assert_allclose(
+            np.tril(m.result("C")), -np.tril(a @ a.T), rtol=1e-10, atol=1e-12
+        )
+
+    def test_upper_triangle_untouched(self):
+        c0 = np.full((8, 8), 5.0)
+        _, m, _ = run_syrk(8, 2, c0=c0.copy())
+        np.testing.assert_array_equal(np.triu(m.result("C"), 1), np.triu(c0, 1))
+
+    def test_submatrix_rows(self):
+        # Operate on a scattered row subset of a bigger matrix.
+        a = random_tall_matrix(12, 4, seed=3)
+        rows = np.array([1, 3, 4, 8, 9, 11])
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((12, 12)))
+        ooc_syrk(m, "A", "C", rows, range(4))
+        m.assert_empty()
+        sub = a[rows]
+        want = np.tril(sub @ sub.T)
+        got = m.result("C")[np.ix_(rows, rows)]
+        np.testing.assert_allclose(np.tril(got), want, rtol=1e-10, atol=1e-12)
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("n,mc,s", [(7, 3, 15), (20, 5, 15), (33, 2, 24), (40, 7, 35)])
+    def test_measured_equals_model(self, n, mc, s):
+        _, _, stats = run_syrk(n, mc, s=s)
+        pred = ooc_syrk_model(n, mc, s)
+        assert stats.loads == pred.loads
+        assert stats.stores == pred.stores
+
+    def test_peak_within_capacity(self):
+        _, _, stats = run_syrk(25, 6, s=15)
+        assert stats.peak_occupancy <= 15
+
+    def test_work_is_full_syrk(self):
+        n, mc = 18, 4
+        _, _, stats = run_syrk(n, mc)
+        assert stats.mults == syrk_mults(n, mc, include_diagonal=True)
+
+    def test_above_lower_bound(self):
+        n, mc, s = 40, 8, 15
+        _, _, stats = run_syrk(n, mc, s=s)
+        assert stats.loads >= syrk_lower_bound(n, mc, s, form="exact")
+
+    def test_c_loaded_exactly_once(self):
+        n, mc = 21, 3
+        _, _, stats = run_syrk(n, mc)
+        assert stats.loads_by_matrix["C"] == n * (n + 1) // 2
+        assert stats.stores_by_matrix["C"] == n * (n + 1) // 2
+
+    def test_explicit_tile_override(self):
+        _, _, stats = run_syrk(20, 3, s=24, tile=2)
+        pred = ooc_syrk_model(20, 3, 24, tile=2)
+        assert stats.loads == pred.loads
+
+    def test_oversized_tile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_syrk(10, 2, s=15, tile=4)  # 16 + 8 > 15
+
+
+class TestRect:
+    def test_numerics_and_model(self):
+        a = random_tall_matrix(14, 3, seed=5)
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((14, 14)))
+        ri, rj = np.arange(8, 14), np.arange(0, 8)
+        stats = ooc_syrk_rect(m, "A", "C", ri, rj, range(3))
+        m.assert_empty()
+        want = a[ri] @ a[rj].T
+        np.testing.assert_allclose(m.result("C")[np.ix_(ri, rj)], want, rtol=1e-10)
+        pred = ooc_syrk_rect_model(6, 8, 3, 15)
+        assert stats.loads == pred.loads
+
+    def test_overlapping_rows_rejected(self):
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", np.zeros((6, 2)))
+        m.add_matrix("C", np.zeros((6, 6)))
+        with pytest.raises(ConfigurationError):
+            ooc_syrk_rect(m, "A", "C", [0, 1, 2], [2, 3], range(2))
+
+
+class TestStrip:
+    def test_computes_trapezoid(self):
+        a = random_tall_matrix(15, 3, seed=6)
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((15, 15)))
+        strip, prior = np.arange(10, 15), np.arange(0, 10)
+        stats = ooc_syrk_strip(m, "A", "C", strip, prior, range(3))
+        m.assert_empty()
+        full = np.tril(a @ a.T)
+        got = m.result("C")
+        # strip rows complete ...
+        np.testing.assert_allclose(got[10:, :], full[10:, :], rtol=1e-10, atol=1e-12)
+        # ... and nothing else written
+        assert np.all(got[:10, :] == 0)
+        pred = ooc_syrk_strip_model(5, 10, 3, 15)
+        assert stats.loads == pred.loads
+
+    def test_empty_strip_is_noop(self):
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", np.zeros((5, 2)))
+        m.add_matrix("C", np.zeros((5, 5)))
+        stats = ooc_syrk_strip(m, "A", "C", [], np.arange(5), range(2))
+        assert stats.loads == 0
+
+    def test_misordered_strip_rejected(self):
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", np.zeros((6, 2)))
+        m.add_matrix("C", np.zeros((6, 6)))
+        with pytest.raises(ConfigurationError):
+            ooc_syrk_strip(m, "A", "C", [0, 1], [2, 3], range(2))

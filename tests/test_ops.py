@@ -1,0 +1,237 @@
+"""Tests for the compute-op IR: numerics, declared regions, work counts."""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.errors import ConfigurationError
+from repro.kernels.flops import cholesky_flops, cholesky_mults, lu_mults
+from repro.sched.ops import (
+    CholFactorResident,
+    GemmOuterUpdate,
+    LuFactorResident,
+    OuterColsUpdate,
+    TriangleUpdate,
+    TrsmSolveStep,
+    UnitLowerSolveStep,
+    UpperSolveStep,
+    syrk_outer_update,
+)
+
+
+def loaded_machine(s=64, n=6, mc=4, seed=0):
+    rng = np.random.default_rng(seed)
+    m = TwoLevelMachine(s)
+    m.add_matrix("A", rng.standard_normal((n, mc)))
+    m.add_matrix("C", rng.standard_normal((n, n)))
+    return m
+
+
+class TestOuterColsUpdate:
+    def test_numerics(self):
+        m = loaded_machine()
+        a = m.result("A").copy()
+        c0 = m.result("C").copy()
+        I, J, k = [1, 3], [0, 2], 1
+        m.load(m.tile("C", I, J))
+        m.load(m.column_segment("A", I, k))
+        m.load(m.column_segment("A", J, k))
+        m.compute(OuterColsUpdate(m, "C", "A", "A", I, J, k, k, sign=-1.0))
+        got = m.workspace("C")[np.ix_(I, J)]
+        want = c0[np.ix_(I, J)] - np.outer(a[I, k], a[J, k])
+        np.testing.assert_allclose(got, want)
+
+    def test_declared_regions(self):
+        m = loaded_machine()
+        op = OuterColsUpdate(m, "C", "A", "A", [1, 3], [0, 2], 1, 1)
+        reads = {(r.matrix, r.size) for r in op.reads()}
+        assert ("C", 4) in reads and ("A", 2) in reads
+        assert [w.matrix for w in op.writes()] == ["C"]
+
+    def test_work(self):
+        m = loaded_machine()
+        op = OuterColsUpdate(m, "C", "A", "A", [1, 3], [0, 2], 1, 1)
+        assert op.mults == 4 and op.flops == 8
+
+    def test_syrk_convenience(self):
+        m = loaded_machine()
+        op = syrk_outer_update(m, "C", "A", [1], [0], 2)
+        assert op.a == op.b == "A" and op.ka == op.kb == 2
+
+
+class TestTriangleUpdate:
+    def test_strict_numerics(self):
+        m = loaded_machine()
+        a = m.result("A").copy()
+        c0 = m.result("C").copy()
+        R, k = [0, 2, 5], 3
+        m.load(m.triangle_block("C", R))
+        m.load(m.column_segment("A", R, k))
+        m.compute(TriangleUpdate(m, "C", "A", R, k))
+        ws = m.workspace("C")
+        for i in R:
+            for j in R:
+                if i > j:
+                    assert ws[i, j] == pytest.approx(c0[i, j] + a[i, k] * a[j, k])
+
+    def test_diagonal_variant(self):
+        m = loaded_machine()
+        a = m.result("A").copy()
+        c0 = m.result("C").copy()
+        R, k = [1, 2, 4], 0
+        m.load(m.lower_tile("C", R))
+        m.load(m.column_segment("A", R, k))
+        m.compute(TriangleUpdate(m, "C", "A", R, k, include_diagonal=True))
+        ws = m.workspace("C")
+        for i in R:
+            assert ws[i, i] == pytest.approx(c0[i, i] + a[i, k] ** 2)
+
+    def test_work_counts(self):
+        m = loaded_machine()
+        op = TriangleUpdate(m, "C", "A", [0, 1, 2, 3], 0)
+        assert op.mults == 6 and op.flops == 12
+        op2 = TriangleUpdate(m, "C", "A", [0, 1, 2, 3], 0, include_diagonal=True)
+        assert op2.mults == 10
+
+    def test_duplicate_rows_rejected(self):
+        m = loaded_machine()
+        with pytest.raises(ConfigurationError):
+            TriangleUpdate(m, "C", "A", [1, 1, 2], 0)
+
+
+class TestGemmOuterUpdate:
+    def test_numerics(self):
+        rng = np.random.default_rng(1)
+        m = TwoLevelMachine(64)
+        m.add_matrix("A", rng.standard_normal((5, 5)))
+        m.add_matrix("B", rng.standard_normal((5, 5)))
+        m.add_matrix("C", np.zeros((5, 5)))
+        I, J, k = [0, 2], [1, 3], 2
+        m.load(m.tile("C", I, J))
+        m.load(m.column_segment("A", I, k))
+        m.load(m.row_segment("B", k, J))
+        m.compute(GemmOuterUpdate(m, "C", "A", "B", I, J, k))
+        a, b = m.result("A"), m.result("B")
+        np.testing.assert_allclose(m.workspace("C")[np.ix_(I, J)], np.outer(a[I, k], b[k, J]))
+
+
+class TestTrsmSolveStep:
+    def test_full_tile_solve_matches_reference(self):
+        rng = np.random.default_rng(2)
+        n, rows = 4, [0, 1, 2]
+        l = np.tril(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        b = rng.standard_normal((3, n))
+        m = TwoLevelMachine(64)
+        m.add_matrix("L", l)
+        m.add_matrix("B", b)
+        jcols = np.arange(n)
+        m.load(m.tile("B", rows, jcols))
+        for t in range(n):
+            lrow = m.row_segment("L", t, jcols[: t + 1])
+            m.load(lrow)
+            m.compute(TrsmSolveStep(m, "B", "L", rows, jcols, t))
+            m.evict(lrow)
+        from scipy.linalg import solve_triangular
+
+        want = solve_triangular(l, b.T, lower=True).T
+        np.testing.assert_allclose(m.workspace("B")[np.ix_(rows, jcols)], want[rows], rtol=1e-12)
+
+    def test_bad_step_index(self):
+        m = loaded_machine()
+        with pytest.raises(ConfigurationError):
+            TrsmSolveStep(m, "C", "C", [0], [0, 1], 5)
+
+
+class TestUpperSolveStep:
+    def test_solves_xu_equals_b(self):
+        rng = np.random.default_rng(3)
+        n, rows = 4, [0, 2]
+        u = np.triu(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        b = rng.standard_normal((5, n))
+        m = TwoLevelMachine(64)
+        m.add_matrix("U", u)
+        m.add_matrix("B", b)
+        jcols = np.arange(n)
+        m.load(m.tile("B", rows, jcols))
+        for t in range(n):
+            ucol = m.column_segment("U", jcols[: t + 1], t)
+            m.load(ucol)
+            m.compute(UpperSolveStep(m, "B", "U", rows, jcols, t))
+            m.evict(ucol)
+        want = b @ np.linalg.inv(u)
+        np.testing.assert_allclose(m.workspace("B")[np.ix_(rows, jcols)], want[rows], rtol=1e-10)
+
+
+class TestUnitLowerSolveStep:
+    def test_solves_lx_equals_b(self):
+        rng = np.random.default_rng(4)
+        n, cols = 4, [0, 1, 2]
+        l = np.tril(rng.standard_normal((n, n)), -1) + np.eye(n)
+        b = rng.standard_normal((n, 3))
+        m = TwoLevelMachine(64)
+        m.add_matrix("L", l)
+        m.add_matrix("B", b)
+        irows = np.arange(n)
+        m.load(m.tile("B", irows, cols))
+        for t in range(n):
+            if t:
+                lrow = m.row_segment("L", t, irows[:t])
+                m.load(lrow)
+            m.compute(UnitLowerSolveStep(m, "B", "L", irows, cols, t))
+            if t:
+                m.evict(lrow)
+        want = np.linalg.solve(l, b)
+        np.testing.assert_allclose(m.workspace("B")[np.ix_(irows, cols)], want, rtol=1e-10)
+
+    def test_step_zero_is_free(self):
+        m = loaded_machine()
+        op = UnitLowerSolveStep(m, "C", "C", [0, 1], [2, 3], 0)
+        assert op.mults == 0 and len(op.reads()) == 1
+
+
+class TestResidentFactorizations:
+    def test_chol_factor(self):
+        rng = np.random.default_rng(5)
+        g = rng.standard_normal((4, 4))
+        spd = g @ g.T + 4 * np.eye(4)
+        m = TwoLevelMachine(64)
+        m.add_matrix("A", spd)
+        rows = np.arange(4)
+        m.load(m.lower_tile("A", rows))
+        op = CholFactorResident(m, "A", rows)
+        m.compute(op)
+        got = np.tril(np.nan_to_num(m.workspace("A")))
+        want = np.linalg.cholesky(spd)
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+        assert op.mults == cholesky_mults(4)
+        assert op.flops == cholesky_flops(4)
+
+    def test_chol_on_subrows(self):
+        rng = np.random.default_rng(6)
+        g = rng.standard_normal((6, 6))
+        spd = g @ g.T + 6 * np.eye(6)
+        rows = np.array([1, 3, 4])
+        m = TwoLevelMachine(64)
+        m.add_matrix("A", spd)
+        m.load(m.lower_tile("A", rows))
+        m.compute(CholFactorResident(m, "A", rows))
+        sub = spd[np.ix_(rows, rows)]
+        want = np.linalg.cholesky(sub)
+        ws = m.workspace("A")
+        got = np.array([[ws[r, c] if ci <= ri else 0.0 for ci, c in enumerate(rows)] for ri, r in enumerate(rows)])
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_lu_factor(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((4, 4)) + 5 * np.eye(4)
+        m = TwoLevelMachine(64)
+        m.add_matrix("A", a)
+        rows = np.arange(4)
+        m.load(m.tile("A", rows, rows))
+        op = LuFactorResident(m, "A", rows)
+        m.compute(op)
+        got = m.workspace("A")[np.ix_(rows, rows)]
+        l = np.tril(got, -1) + np.eye(4)
+        u = np.triu(got)
+        np.testing.assert_allclose(l @ u, a, rtol=1e-10)
+        assert op.mults == lu_mults(4)

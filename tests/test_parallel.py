@@ -1,0 +1,112 @@
+"""Tests for the parallel (P-node) model: assignments and simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.flops import syrk_mults
+from repro.parallel.partition import (
+    BlockSpec,
+    square_tile_assignment,
+    triangle_block_assignment,
+)
+from repro.parallel.simulate import simulate_syrk
+
+
+class TestBlockSpec:
+    def test_rect_pairs(self):
+        b = BlockSpec("rect", (3, 4), (0, 1))
+        assert b.pairs() == {(3, 0), (3, 1), (4, 0), (4, 1)}
+        assert b.n_pairs() == 4
+
+    def test_diag_pairs(self):
+        b = BlockSpec("diag", (1, 2))
+        assert b.pairs() == {(1, 1), (2, 1), (2, 2)}
+        assert b.n_pairs() == 3
+
+    def test_triangle_pairs(self):
+        b = BlockSpec("triangle", (0, 3, 7))
+        assert b.pairs() == {(3, 0), (7, 0), (7, 3)}
+        assert b.n_pairs() == 3
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            BlockSpec("blob", (1,)).pairs()
+
+
+class TestAssignments:
+    @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
+    @pytest.mark.parametrize("n,p", [(20, 1), (27, 3), (40, 4), (60, 7), (33, 16)])
+    def test_exact_cover(self, mk, n, p):
+        asg = mk(n, p, 15)
+        assert len(asg.blocks) == p
+        assert asg.validate_exact_cover()
+
+    @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
+    def test_balance_reasonable(self, mk):
+        asg = mk(120, 8, 15)
+        counts = asg.node_pair_counts()
+        assert max(counts) <= 1.25 * (sum(counts) / len(counts))
+
+    def test_triangle_strategy_uses_triangle_blocks(self):
+        asg = triangle_block_assignment(60, 4, 15)
+        kinds = {b.kind for node in asg.blocks for b in node}
+        assert "triangle" in kinds
+
+    def test_square_strategy_has_no_triangle_blocks(self):
+        asg = square_tile_assignment(60, 4, 15)
+        kinds = {b.kind for node in asg.blocks for b in node}
+        assert kinds <= {"rect", "diag"}
+
+    def test_small_n_falls_back(self):
+        # Below the TBS threshold the triangle strategy degenerates to tiles.
+        asg = triangle_block_assignment(10, 2, 15)
+        kinds = {b.kind for node in asg.blocks for b in node}
+        assert "triangle" not in kinds
+        assert asg.validate_exact_cover()
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            square_tile_assignment(0, 2, 15)
+        with pytest.raises(ConfigurationError):
+            triangle_block_assignment(10, 0, 15)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
+    def test_work_conserved_and_memory_respected(self, mk):
+        n, p, s, m = 48, 4, 15, 6
+        summ = simulate_syrk(mk(n, p, s), m)
+        assert summ.total_mults == syrk_mults(n, m, include_diagonal=True)
+        assert all(r.peak_memory <= s for r in summ.nodes)
+
+    def test_c_received_exactly_once_overall(self):
+        n, p, s, m = 40, 4, 15, 3
+        summ = simulate_syrk(square_tile_assignment(n, p, s), m)
+        assert sum(r.c_recv for r in summ.nodes) == n * (n + 1) // 2
+
+    def test_triangle_beats_square_on_max_a_recv(self):
+        n, p, s, m = 60, 4, 15, 8
+        sq = simulate_syrk(square_tile_assignment(n, p, s), m)
+        tb = simulate_syrk(triangle_block_assignment(n, p, s), m)
+        assert tb.max_a_recv < sq.max_a_recv
+        assert tb.max_recv < sq.max_recv
+
+    def test_single_node_equals_sequential_volume_shape(self):
+        # P = 1: per-node receive volume == a sequential schedule's loads.
+        from repro.analysis.model import ooc_syrk_model
+
+        n, s, m = 33, 15, 4
+        summ = simulate_syrk(square_tile_assignment(n, 1, s), m)
+        pred = ooc_syrk_model(n, m, s)
+        assert summ.nodes[0].total_recv == pred.loads
+
+    def test_summary_statistics(self):
+        summ = simulate_syrk(square_tile_assignment(40, 4, 15), 3)
+        assert summ.max_recv >= summ.mean_recv
+        assert summ.compute_imbalance >= 1.0
+        assert summ.p == 4 and summ.strategy == "square"
+
+    def test_bad_mcols(self):
+        with pytest.raises(ConfigurationError):
+            simulate_syrk(square_tile_assignment(10, 2, 15), 0)

@@ -1,0 +1,101 @@
+"""Tests for the TBS partition planner (Section 5.1.1 geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import TBSPartition, choose_c, plan_partition, recursion_profile
+from repro.errors import ConfigurationError
+from repro.utils.primes import primorial_up_to
+
+
+class TestChooseC:
+    def test_examples_k5(self):
+        # k=5 -> q=6: c must avoid factors 2 and 3.
+        assert choose_c(25, 5) == 5
+        assert choose_c(30, 5) == 5      # 6 shares factors; fall to 5
+        assert choose_c(35, 5) == 7
+        assert choose_c(60, 5) == 11     # 12 -> 11
+        assert choose_c(4, 5) == 0       # bound 0
+
+    def test_coprimality(self):
+        for k in (4, 5, 6, 7):
+            q = primorial_up_to(k - 2)
+            for n in range(k, 400, 7):
+                c = choose_c(n, k)
+                if c:
+                    assert np.gcd(c, q) == 1
+                    assert c <= n // k
+
+    def test_k_too_small(self):
+        with pytest.raises(ConfigurationError):
+            choose_c(10, 1)
+
+
+class TestPlanPartition:
+    def test_infeasible_returns_none(self):
+        assert plan_partition(10, 5) is None  # c = 2 < k-1 = 4
+        assert plan_partition(1, 5) is None
+
+    def test_feasible_geometry(self):
+        part = plan_partition(27, 5)
+        assert part is not None
+        assert part.c == 5
+        assert part.covered == 25
+        assert part.leftover == 2
+        assert len(part.strip()) == 2
+        assert list(part.strip()) == [25, 26]
+
+    def test_groups_partition_covered_rows(self):
+        part = plan_partition(37, 5)
+        assert part is not None
+        seen = np.concatenate(part.groups())
+        np.testing.assert_array_equal(np.sort(seen), np.arange(part.covered))
+
+    def test_group_bounds(self):
+        part = plan_partition(27, 5)
+        with pytest.raises(ConfigurationError):
+            part.group(5)
+
+    @pytest.mark.parametrize("n,k", [(27, 5), (20, 4), (37, 5), (66, 6), (49, 4)])
+    def test_blocks_disjoint_and_cover(self, n, k):
+        part = plan_partition(n, k)
+        assert part is not None
+        assert part.validate_blocks_disjoint()
+        assert part.validate_exact_cover()
+
+    def test_block_count_matches_zone_area(self):
+        part = plan_partition(27, 5)
+        blocks = list(part.iter_blocks())
+        assert len(blocks) == part.c**2
+        pairs_per_block = part.k * (part.k - 1) // 2
+        zone_pairs = part.k * (part.k - 1) // 2 * part.c**2
+        assert len(blocks) * pairs_per_block == zone_pairs
+
+    def test_block_rows_one_per_group(self):
+        part = plan_partition(27, 5)
+        for (_ij, rows) in part.iter_blocks():
+            assert sorted(int(r) // part.c for r in rows) == list(range(part.k))
+
+
+class TestRecursionProfile:
+    def test_terminates_with_fallback(self):
+        prof = recursion_profile(27, 5)
+        assert prof[-1]["mode"] == "ooc_syrk"
+        assert prof[0]["mode"] == "triangle_blocks"
+
+    def test_widths_multiply_by_k(self):
+        prof = recursion_profile(200, 4)
+        for depth, level in enumerate(prof):
+            assert level["depth"] == depth
+            assert level["count"] == 4**depth
+
+    def test_n_shrinks_to_c(self):
+        prof = recursion_profile(125, 5)
+        for a, b in zip(prof, prof[1:]):
+            assert b["n"] == a["c"]
+
+    def test_small_is_immediate_fallback(self):
+        prof = recursion_profile(8, 5)
+        assert len(prof) == 1
+        assert prof[0]["mode"] == "ooc_syrk"
+        assert prof[0]["l"] == 8

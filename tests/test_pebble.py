@@ -1,0 +1,139 @@
+"""Tests for the element-granular red-blue pebble machines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, ResidencyError
+from repro.machine.pebble import ExplicitPebbleMachine, LRUPebbleMachine
+
+
+def tiny_lru(cap=4):
+    pm = LRUPebbleMachine(cap)
+    pm.add_matrix("A", np.array([[1.0, 2.0], [3.0, 4.0]]))
+    pm.add_matrix("C", np.zeros((2, 2)))
+    return pm
+
+
+class TestLRU:
+    def test_touch_loads_once_within_capacity(self):
+        pm = tiny_lru(4)
+        pm.touch([("A", 0, 0), ("A", 0, 1)])
+        pm.touch([("A", 0, 0)])  # already resident: no extra load
+        assert pm.loads == 2
+        assert pm.occupancy == 2
+
+    def test_lru_eviction_order(self):
+        pm = tiny_lru(2)
+        pm.touch([("A", 0, 0)])
+        pm.touch([("A", 0, 1)])
+        pm.touch([("A", 0, 0)])        # refresh 0,0 -> LRU victim is 0,1
+        pm.touch([("A", 1, 0)])        # evicts ("A", 0, 1)
+        assert ("A", 0, 1) not in pm.resident
+        assert ("A", 0, 0) in pm.resident
+
+    def test_dirty_writeback_counted(self):
+        pm = tiny_lru(1)
+        pm.touch([("C", 0, 0)], write=True)
+        pm.touch([("C", 0, 1)], write=True)  # evicts dirty (0,0): 1 store
+        assert pm.stores == 1
+        pm.flush()
+        assert pm.stores == 2
+
+    def test_muladd_computes(self):
+        pm = tiny_lru(4)
+        pm.op_muladd(("C", 1, 0), ("A", 1, 0), ("A", 0, 0))
+        pm.flush()
+        assert pm.result("C")[1, 0] == pytest.approx(3.0 * 1.0)
+        assert pm.mults == 1 and pm.flops == 2
+
+    def test_div_and_sqrt(self):
+        pm = tiny_lru(4)
+        pm.op_sqrt(("A", 1, 1))
+        pm.op_div(("A", 1, 0), ("A", 1, 1))
+        pm.flush()
+        assert pm.result("A")[1, 1] == pytest.approx(2.0)
+        assert pm.result("A")[1, 0] == pytest.approx(1.5)
+
+    def test_capacity_one_thrashes(self):
+        pm = tiny_lru(3)  # exactly the 3 operands of one muladd
+        pm.op_muladd(("C", 1, 0), ("A", 1, 0), ("A", 0, 0))
+        pm.op_muladd(("C", 1, 0), ("A", 1, 1), ("A", 0, 1))
+        # second op: C(1,0) was evicted? cap=3 and op touches 3 elems
+        assert pm.loads >= 5
+
+    def test_peak_occupancy(self):
+        pm = tiny_lru(4)
+        pm.touch([("A", 0, 0), ("A", 0, 1), ("A", 1, 0)])
+        assert pm.peak_occupancy == 3
+
+    def test_q_alias(self):
+        pm = tiny_lru()
+        pm.touch([("A", 0, 0)])
+        assert pm.q == pm.loads == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUPebbleMachine(0)
+
+    def test_duplicate_matrix_rejected(self):
+        pm = tiny_lru()
+        with pytest.raises(ConfigurationError):
+            pm.add_matrix("A", np.zeros((1, 1)))
+
+
+class TestExplicit:
+    def make(self, cap=3):
+        pm = ExplicitPebbleMachine(cap)
+        pm.add_matrix("A", np.array([[4.0, 2.0], [3.0, 4.0]]))
+        return pm
+
+    def test_load_compute_evict(self):
+        pm = self.make()
+        pm.load(("A", 0, 0))
+        pm.op_sqrt(("A", 0, 0))
+        pm.evict(("A", 0, 0))  # dirty: auto writeback
+        assert pm.result("A")[0, 0] == pytest.approx(2.0)
+        assert pm.loads == 1 and pm.stores == 1
+
+    def test_capacity_error(self):
+        pm = self.make(cap=1)
+        pm.load(("A", 0, 0))
+        with pytest.raises(CapacityError):
+            pm.load(("A", 0, 1))
+
+    def test_redundant_load_rejected(self):
+        pm = self.make()
+        pm.load(("A", 0, 0))
+        with pytest.raises(ResidencyError):
+            pm.load(("A", 0, 0))
+
+    def test_nonresident_compute_rejected(self):
+        pm = self.make()
+        with pytest.raises(ResidencyError):
+            pm.op_sqrt(("A", 0, 0))
+
+    def test_nonresident_evict_rejected(self):
+        pm = self.make()
+        with pytest.raises(ResidencyError):
+            pm.evict(("A", 0, 0))
+
+    def test_clean_evict_no_store(self):
+        pm = self.make()
+        pm.load(("A", 0, 0))
+        pm.evict(("A", 0, 0))
+        assert pm.stores == 0
+
+    def test_explicit_writeback_override(self):
+        pm = self.make()
+        pm.load(("A", 0, 0))
+        pm.evict(("A", 0, 0), writeback=True)
+        assert pm.stores == 1
+
+    def test_muladd_and_div(self):
+        pm = self.make()
+        for e in [("A", 1, 0), ("A", 0, 0), ("A", 0, 1)]:
+            pm.load(e)
+        pm.op_muladd(("A", 1, 0), ("A", 0, 0), ("A", 0, 1), sign=-1.0)
+        assert pm.arrays["A"][1, 0] == pytest.approx(3.0 - 8.0)
+        pm.op_div(("A", 1, 0), ("A", 0, 0))
+        assert pm.arrays["A"][1, 0] == pytest.approx(-5.0 / 4.0)

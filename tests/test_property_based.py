@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) on the paper's invariants.
+
+The crown jewel is Theorem 4.1 as a universally-quantified property: *any*
+subcomputation ``B ⊆ 𝒮`` satisfies ``|B| <= sqrt(2)/(3 sqrt 3) D(B)^{3/2}``.
+The strategy draws arbitrary triple sets; `data_accessed` implements
+Proposition 3.4.  Everything else — σ identities, indexing-family validity,
+partition coverage, machine invariants under random legal op streams — is
+property-tested in the same spirit.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TwoLevelMachine
+from repro.core.balanced import (
+    check_rebalancing_dominates,
+    max_ops_bound,
+    rebalance,
+    rebalancing_slack,
+)
+from repro.core.indexing import CyclicIndexingFamily, blocks_are_disjoint, is_valid_indexing_family
+from repro.core.partition import plan_partition
+from repro.core.triangle import canonical_triangle, sigma, sigma_real, symmetric_footprint_size
+from repro.core.tbs import tbs_syrk
+from repro.kernels.opsets import data_accessed, data_accessed_no_symmetry
+from repro.kernels.reference import syrk_reference
+from repro.utils.primes import is_coprime, largest_coprime_below, primorial_up_to
+
+triples = st.sets(
+    st.tuples(
+        st.integers(min_value=1, max_value=12),  # i
+        st.integers(min_value=0, max_value=11),  # j
+        st.integers(min_value=0, max_value=6),   # k
+    ).filter(lambda t: t[0] > t[1]),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestTheorem41Property:
+    @given(b=triples)
+    @settings(max_examples=300, deadline=None)
+    def test_any_subcomputation_obeys_bound(self, b):
+        d = data_accessed(b)
+        assert len(b) <= max_ops_bound(float(d)) + 1e-9
+
+    @given(b=triples)
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry_never_hurts(self, b):
+        assert data_accessed(b) <= data_accessed_no_symmetry(b)
+
+    @given(b=triples)
+    @settings(max_examples=200, deadline=None)
+    def test_rebalancing_dominates_continuous(self, b):
+        assert check_rebalancing_dominates(b)
+
+    @given(b=triples)
+    @settings(max_examples=200, deadline=None)
+    def test_integer_rebalancing_slack_bounded(self, b):
+        bal = rebalance(b)
+        assert rebalancing_slack(b) <= bal.full_iterations + 1
+
+
+class TestSigmaProperties:
+    @given(m=st.integers(min_value=0, max_value=100_000))
+    def test_sigma_vs_real(self, m):
+        if m == 0:
+            assert sigma(0) == 0
+        else:
+            assert sigma(m) == math.ceil(sigma_real(m))
+
+    @given(m=st.integers(min_value=1, max_value=5_000))
+    def test_sigma_inverse(self, m):
+        s = sigma(m)
+        assert s * (s - 1) // 2 >= m > (s - 1) * (s - 2) // 2
+
+    @given(m=st.integers(min_value=0, max_value=2_000))
+    def test_canonical_triangle_invariants(self, m):
+        t = canonical_triangle(m)
+        assert len(t) == m
+        assert symmetric_footprint_size(t) == sigma(m)
+        assert all(i > j >= 0 for i, j in t)
+
+
+class TestPrimesProperties:
+    @given(bound=st.integers(min_value=1, max_value=3_000), klim=st.integers(min_value=2, max_value=9))
+    def test_largest_coprime_maximal(self, bound, klim):
+        q = primorial_up_to(klim)
+        c = largest_coprime_below(bound, q)
+        assert 1 <= c <= bound
+        assert is_coprime(c, q)
+        assert all(not is_coprime(x, q) for x in range(c + 1, bound + 1))
+
+
+class TestIndexingProperties:
+    @given(
+        k=st.integers(min_value=3, max_value=6),
+        offset=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chosen_c_always_valid(self, k, offset):
+        # Whatever n we start from, the planner's c yields a valid family.
+        n = k * (k - 1 + offset)
+        part = plan_partition(n, k)
+        if part is None:
+            return
+        fam = part.family
+        assert is_valid_indexing_family(fam)
+
+    @given(c=st.integers(min_value=4, max_value=12), k=st.integers(min_value=3, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_validity_equals_disjointness(self, c, k):
+        if c < k - 1:
+            return
+        fam = CyclicIndexingFamily(c, k, check=False)
+        assert is_valid_indexing_family(fam) == blocks_are_disjoint(fam)
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(min_value=1, max_value=90), k=st.integers(min_value=3, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_geometry(self, n, k):
+        part = plan_partition(n, k)
+        if part is None:
+            return
+        assert part.c >= k - 1
+        assert part.covered + part.leftover == n
+        assert part.validate_blocks_disjoint()
+        assert part.validate_exact_cover()
+
+
+class TestMachineProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=34),
+        mc=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_tbs_always_correct_and_within_capacity(self, seed, n, mc):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, mc))
+        m = TwoLevelMachine(15)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((n, n)))
+        stats = tbs_syrk(m, "A", "C", range(n), range(mc))
+        m.assert_empty()
+        assert stats.peak_occupancy <= 15
+        np.testing.assert_allclose(
+            np.tril(m.result("C")), np.tril(syrk_reference(a)), rtol=1e-9, atol=1e-10
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_legal_streams_preserve_invariants(self, seed, steps):
+        # Drive the machine with random legal loads/evicts; occupancy
+        # accounting must match a reference set model exactly.
+        rng = np.random.default_rng(seed)
+        m = TwoLevelMachine(20)
+        m.add_matrix("X", np.zeros((6, 6)))
+        resident: set[int] = set()
+        for _ in range(steps):
+            if resident and rng.random() < 0.45:
+                take = rng.choice(sorted(resident), size=rng.integers(1, len(resident) + 1), replace=False)
+                from repro.machine.regions import Region
+
+                m.evict(Region("X", np.sort(take)), writeback=bool(rng.random() < 0.5))
+                resident -= set(int(t) for t in take)
+            else:
+                free = sorted(set(range(36)) - resident)
+                if not free:
+                    continue
+                room = 20 - len(resident)
+                if room == 0:
+                    continue
+                count = int(rng.integers(1, min(len(free), room) + 1))
+                take = rng.choice(free, size=count, replace=False)
+                from repro.machine.regions import Region
+
+                m.load(Region("X", np.sort(take)))
+                resident |= set(int(t) for t in take)
+            assert m.occupancy() == len(resident)
+            assert m.occupancy() <= 20
+
+
+class TestSyr2kProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=30),
+        mc=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_tbs_syr2k_always_correct(self, seed, n, mc):
+        from repro.core.syr2k import syr2k_reference, tbs_syr2k
+
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, mc))
+        b = rng.standard_normal((n, mc))
+        m = TwoLevelMachine(14)
+        m.add_matrix("A", a)
+        m.add_matrix("B", b)
+        m.add_matrix("C", np.zeros((n, n)))
+        stats = tbs_syr2k(m, "A", "B", "C", range(n), range(mc))
+        m.assert_empty()
+        assert stats.peak_occupancy <= 14
+        np.testing.assert_allclose(
+            np.tril(m.result("C")), syr2k_reference(a, b), rtol=1e-9, atol=1e-10
+        )
+
+
+class TestParallelProperties:
+    @given(
+        n=st.integers(min_value=4, max_value=70),
+        p=st.integers(min_value=1, max_value=9),
+        strategy=st.sampled_from(["square", "triangle"]),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_assignments_always_exact_cover(self, n, p, strategy):
+        from repro.parallel.partition import (
+            square_tile_assignment,
+            triangle_block_assignment,
+        )
+
+        mk = square_tile_assignment if strategy == "square" else triangle_block_assignment
+        asg = mk(n, p, 15)
+        assert asg.validate_exact_cover()
+
+    @given(
+        n=st.integers(min_value=8, max_value=50),
+        p=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_simulation_conserves_work(self, n, p):
+        from repro.kernels.flops import syrk_mults
+        from repro.parallel import simulate_syrk, triangle_block_assignment
+
+        mc = 3
+        summ = simulate_syrk(triangle_block_assignment(n, p, 15), mc)
+        assert summ.total_mults == syrk_mults(n, mc, include_diagonal=True)
+        assert all(r.peak_memory <= 15 for r in summ.nodes)
+        assert sum(r.c_recv for r in summ.nodes) == n * (n + 1) // 2

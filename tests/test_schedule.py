@@ -1,0 +1,131 @@
+"""Tests for schedule recording, replay, and machine-independent validation."""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.core.tbs import tbs_syrk
+from repro.errors import ScheduleError
+from repro.kernels.reference import syrk_reference
+from repro.machine.regions import Region
+from repro.sched.ops import OuterColsUpdate
+from repro.sched.schedule import (
+    ComputeStep,
+    EvictStep,
+    LoadStep,
+    Schedule,
+    record_schedule,
+    replay_schedule,
+)
+from repro.sched.validate import schedule_footprint, validate_schedule
+
+
+def syrk_machine(n=26, mc=3, s=15, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    m = TwoLevelMachine(s, **kw)
+    m.add_matrix("A", rng.standard_normal((n, mc)))
+    m.add_matrix("C", np.zeros((n, n)))
+    return m
+
+
+class TestRecordReplay:
+    def test_roundtrip_stats_and_result(self):
+        m1 = syrk_machine()
+        sched = record_schedule(m1, lambda: tbs_syrk(m1, "A", "C", range(26), range(3)))
+        # Replay on a fresh machine with the same input values.
+        m2 = syrk_machine()
+        replay_schedule(sched, m2)
+        assert m2.stats.loads == m1.stats.loads
+        assert m2.stats.stores == m1.stats.stores
+        assert m2.stats.mults == m1.stats.mults
+        np.testing.assert_allclose(m2.result("C"), m1.result("C"))
+
+    def test_trace_io_matches_stats(self):
+        m = syrk_machine()
+        sched = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(26), range(3)))
+        loads, stores = sched.io_volume()
+        assert loads == m.stats.loads
+        assert stores == m.stats.stores
+
+    def test_step_counts(self):
+        m = syrk_machine()
+        sched = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(26), range(3)))
+        counts = sched.counts()
+        assert counts["load"] == m.stats.n_loads
+        assert counts["evict"] == m.stats.n_evicts
+        assert counts["compute"] == m.stats.n_computes
+        assert len(sched) == sum(counts.values())
+
+    def test_shape_mismatch_rejected(self):
+        m = syrk_machine()
+        sched = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(26), range(3)))
+        m2 = TwoLevelMachine(15)
+        m2.add_matrix("A", np.zeros((26, 4)))  # wrong shape
+        m2.add_matrix("C", np.zeros((26, 26)))
+        with pytest.raises(ValueError):
+            replay_schedule(sched, m2)
+
+    def test_recorder_detached_after_body(self):
+        m = syrk_machine()
+        sched = record_schedule(m, lambda: m.load(m.tile("C", [0], [0])))
+        m.evict(m.tile("C", [0], [0]))  # not recorded
+        assert len(sched) == 1
+
+
+class TestValidate:
+    def recorded(self, **kw):
+        m = syrk_machine(**kw)
+        sched = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(26), range(3)))
+        return m, sched
+
+    def test_valid_schedule_passes(self):
+        m, sched = self.recorded()
+        summary = validate_schedule(sched, capacity=15)
+        assert summary["loads"] == m.stats.loads
+        assert summary["stores"] == m.stats.stores
+        assert summary["peak_occupancy"] <= 15
+
+    def test_capacity_violation_detected(self):
+        _, sched = self.recorded()
+        with pytest.raises(ScheduleError, match="capacity"):
+            validate_schedule(sched, capacity=14)
+
+    def test_truncated_schedule_leaves_memory_nonempty(self):
+        _, sched = self.recorded()
+        truncated = Schedule(steps=sched.steps[:-1], shapes=sched.shapes)
+        with pytest.raises(ScheduleError, match="not empty"):
+            validate_schedule(truncated, capacity=15)
+
+    def test_dropped_load_detected(self):
+        _, sched = self.recorded()
+        # Remove the first load: later evicts/computes must fail.
+        first_load = next(i for i, s in enumerate(sched.steps) if isinstance(s, LoadStep))
+        broken = Schedule(
+            steps=sched.steps[:first_load] + sched.steps[first_load + 1 :],
+            shapes=sched.shapes,
+        )
+        with pytest.raises(ScheduleError):
+            validate_schedule(broken, capacity=15)
+
+    def test_duplicated_load_detected(self):
+        _, sched = self.recorded()
+        first_load = next(s for s in sched.steps if isinstance(s, LoadStep))
+        broken = Schedule(steps=[first_load] + sched.steps, shapes=sched.shapes)
+        with pytest.raises(ScheduleError, match="redundant"):
+            validate_schedule(broken, capacity=15)
+
+    def test_unknown_matrix_detected(self):
+        sched = Schedule(
+            steps=[LoadStep(Region("X", np.array([0])))],
+            shapes={"A": (2, 2)},
+        )
+        with pytest.raises(ScheduleError, match="unknown matrix"):
+            validate_schedule(sched, capacity=5)
+
+    def test_footprint(self):
+        m, sched = self.recorded()
+        fp = schedule_footprint(sched)
+        # TBS touches every element of A (each column loaded per block) and
+        # the full lower triangle of C exactly once (footprint == n(n+1)/2).
+        assert fp["C"] == 26 * 27 // 2
+        assert fp["A"] == 26 * 3

@@ -1,0 +1,143 @@
+"""Tests for the SYR2K extension (the paper's future-work kernel)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.analysis.model import ooc_syr2k_model, tbs_syr2k_model
+from repro.core.syr2k import (
+    ooc_syr2k,
+    syr2k_lower_bound,
+    syr2k_reference,
+    syr2k_square_tile_side,
+    syr2k_triangle_side_for_memory,
+    tbs_syr2k,
+)
+from repro.errors import ConfigurationError
+from repro.utils.rng import random_tall_matrix
+
+
+def run(fn, n, mc, s=14, sign=1.0, seed=0, **kw):
+    a = random_tall_matrix(n, mc, seed=seed)
+    b = random_tall_matrix(n, mc, seed=seed + 1)
+    m = TwoLevelMachine(s)
+    m.add_matrix("A", a)
+    m.add_matrix("B", b)
+    m.add_matrix("C", np.zeros((n, n)))
+    stats = fn(m, "A", "B", "C", range(n), range(mc), sign=sign, **kw)
+    m.assert_empty()
+    return a, b, m, stats
+
+
+class TestShapeParameters:
+    @pytest.mark.parametrize("s", range(5, 300, 7))
+    def test_triangle_side_inequality(self, s):
+        k = syr2k_triangle_side_for_memory(s)
+        assert k * (k + 3) // 2 <= s
+        assert (k + 1) * (k + 4) // 2 > s
+
+    @pytest.mark.parametrize("s", range(5, 300, 7))
+    def test_square_tile_inequality(self, s):
+        t = syr2k_square_tile_side(s)
+        assert t * t + 4 * t <= s
+        assert (t + 1) * (t + 1) + 4 * (t + 1) > s
+
+    def test_syr2k_memory_tighter_than_syrk(self):
+        # Two streamed segments cost one extra row of memory: k is never
+        # larger than the SYRK triangle side.
+        from repro.config import triangle_side_for_memory
+
+        for s in range(5, 200, 3):
+            assert syr2k_triangle_side_for_memory(s) <= triangle_side_for_memory(s)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("fn", [tbs_syr2k, ooc_syr2k])
+    @pytest.mark.parametrize("n", [1, 5, 13, 27, 40])
+    def test_matches_reference(self, fn, n):
+        a, b, m, _ = run(fn, n, 3)
+        ref = syr2k_reference(a, b)
+        np.testing.assert_allclose(np.tril(m.result("C")), ref, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("fn", [tbs_syr2k, ooc_syr2k])
+    def test_negative_sign(self, fn):
+        a, b, m, _ = run(fn, 20, 2, sign=-1.0)
+        ref = -np.tril(a @ b.T + b @ a.T)
+        np.testing.assert_allclose(np.tril(m.result("C")), ref, rtol=1e-10, atol=1e-12)
+
+    def test_symmetric_in_a_b(self):
+        # C(A, B) == C(B, A) numerically.
+        a1, b1, m1, _ = run(tbs_syr2k, 24, 3, seed=5)
+        m2 = TwoLevelMachine(14)
+        m2.add_matrix("A", b1)
+        m2.add_matrix("B", a1)
+        m2.add_matrix("C", np.zeros((24, 24)))
+        tbs_syr2k(m2, "A", "B", "C", range(24), range(3))
+        np.testing.assert_allclose(m1.result("C"), m2.result("C"), rtol=1e-12)
+
+    def test_reference_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            syr2k_reference(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("n,mc,s", [(12, 2, 14), (27, 3, 14), (40, 4, 14), (54, 2, 20)])
+    def test_tbs_measured_equals_model(self, n, mc, s):
+        _, _, _, stats = run(tbs_syr2k, n, mc, s=s)
+        pred = tbs_syr2k_model(n, mc, s)
+        assert stats.loads == pred.loads
+        assert stats.stores == pred.stores
+
+    @pytest.mark.parametrize("n,mc,s", [(12, 2, 14), (27, 3, 14), (33, 2, 24)])
+    def test_ocs_measured_equals_model(self, n, mc, s):
+        _, _, _, stats = run(ooc_syr2k, n, mc, s=s)
+        pred = ooc_syr2k_model(n, mc, s)
+        assert stats.loads == pred.loads
+        assert stats.stores == pred.stores
+
+    def test_peak_within_capacity(self):
+        for fn in (tbs_syr2k, ooc_syr2k):
+            _, _, _, stats = run(fn, 30, 3)
+            assert stats.peak_occupancy <= 14
+
+    def test_work_count(self):
+        n, mc = 25, 3
+        _, _, _, stats = run(tbs_syr2k, n, mc)
+        # 2 mults per (pair, k), pairs incl. diagonal
+        assert stats.mults == 2 * (n * (n + 1) // 2) * mc
+
+    def test_above_lower_bound(self):
+        n, mc, s = 40, 4, 14
+        _, _, _, stats = run(tbs_syr2k, n, mc, s=s)
+        assert stats.loads >= syr2k_lower_bound(n, mc, s, form="exact")
+
+    def test_tbs_beats_baseline_in_regime(self):
+        n, mc, s = 48, 6, 14
+        _, _, _, t = run(tbs_syr2k, n, mc, s=s)
+        _, _, _, o = run(ooc_syr2k, n, mc, s=s)
+        assert t.loads < o.loads
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run(tbs_syr2k, 10, 2, s=14, k=5)  # 5*8/2 = 20 > 14
+        with pytest.raises(ConfigurationError):
+            run(tbs_syr2k, 10, 2, s=2)
+
+    def test_lower_bound_forms(self):
+        assert syr2k_lower_bound(10, 3, 8, form="exact") < syr2k_lower_bound(10, 3, 8)
+        with pytest.raises(ConfigurationError):
+            syr2k_lower_bound(10, 3, 8, form="nope")
+
+    def test_sqrt2_gap_at_scale_via_models(self):
+        # A/B-traffic ratio baseline/TBS -> (k-1)/t as for SYRK.
+        s = 5050
+        k = syr2k_triangle_side_for_memory(s)  # ~98
+        t = syr2k_square_tile_side(s)          # ~69
+        n, mc = 150_000, 2
+        c_pass = n * (n + 1) // 2
+        tbs = tbs_syr2k_model(n, mc, s).loads - c_pass
+        ocs = ooc_syr2k_model(n, mc, s).loads - c_pass
+        assert ocs / tbs == pytest.approx((k - 1) / t, rel=0.03)
+        assert ocs / tbs == pytest.approx(math.sqrt(2.0), rel=0.05)

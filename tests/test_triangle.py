@@ -1,0 +1,154 @@
+"""Tests for triangle blocks and the sigma machinery (Definitions 3.3-3.5, Lemma 3.6)."""
+
+import math
+
+import pytest
+
+from repro.core.triangle import (
+    canonical_triangle,
+    max_triangle_elements_for_footprint,
+    sigma,
+    side_length,
+    symmetric_footprint_size,
+    triangle_block,
+    triangle_block_size,
+)
+
+
+class TestTriangleBlock:
+    def test_small(self):
+        assert triangle_block([0, 2, 5]) == {(2, 0), (5, 0), (5, 2)}
+        assert triangle_block([3]) == set()
+        assert triangle_block([]) == set()
+
+    @pytest.mark.parametrize("side", range(7))
+    def test_size_formula(self, side):
+        rows = list(range(0, 2 * side, 2))
+        assert len(triangle_block(rows)) == triangle_block_size(side)
+
+    def test_all_pairs_subdiagonal(self):
+        for i, j in triangle_block([1, 4, 7, 9]):
+            assert i > j
+
+    def test_negative_side_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_block_size(-1)
+
+
+class TestSigma:
+    def test_lemma_3_6_closed_form(self):
+        # sigma(m) = ceil(sqrt(1/4 + 2m) + 1/2) for m >= 1.
+        for m in range(1, 500):
+            expected = math.ceil(math.sqrt(0.25 + 2 * m) + 0.5)
+            assert sigma(m) == expected, m
+
+    def test_sigma_zero(self):
+        assert sigma(0) == 0
+
+    @pytest.mark.parametrize("m", range(1, 200))
+    def test_sigma_is_minimal_side(self, m):
+        s = sigma(m)
+        assert s * (s - 1) // 2 >= m
+        assert (s - 1) * (s - 2) // 2 < m
+
+    def test_sigma_concave_increments(self):
+        # sigma is concave in the discrete sense used by Lemma 4.3:
+        # increments are non-increasing.
+        vals = [sigma(m) for m in range(0, 300)]
+        diffs = [vals[i + 1] - vals[i] for i in range(len(vals) - 1)]
+        # after the initial jump, increments are 0 or 1 and "spread out"
+        assert all(d in (0, 1, 2) for d in diffs)
+        assert diffs[0] == 2  # sigma(1) - sigma(0) = 2
+
+    def test_sigma_subadditive(self):
+        # sigma(a + b) <= sigma(a) + sigma(b): the property Lemma 4.3's
+        # rebalancing argument needs (consolidating per-iteration work into
+        # full chunks never increases the footprint sum).
+        for a in range(1, 80):
+            for b in range(1, 80):
+                assert sigma(a + b) <= sigma(a) + sigma(b)
+
+    def test_consolidation_dominance_continuous(self):
+        # Lemma 4.3's middle inequality holds with the *continuous* sigma
+        # (concave): for any decomposition {m_k} of x with max part m,
+        # K*sigma_real(m) + sigma_real(x - K*m) <= sum_k sigma_real(m_k).
+        from repro.core.triangle import sigma_real
+
+        def decomps(total, largest):
+            if total == 0:
+                yield ()
+                return
+            for part in range(min(total, largest), 0, -1):
+                for rest in decomps(total - part, part):
+                    yield (part,) + rest
+
+        for x in range(1, 16):
+            for parts in decomps(x, x):
+                m = max(parts)
+                k_full, rem = divmod(x, m)
+                balanced = k_full * sigma_real(m) + sigma_real(rem)
+                assert balanced <= sum(sigma_real(p) for p in parts) + 1e-9, (x, parts)
+
+    def test_consolidation_integer_slack_bounded(self):
+        # Reproduction finding: with the integer sigma the inequality can
+        # fail (e.g. parts (4,3,3)), but only by rounding slack, bounded by
+        # the number of non-empty balanced iterations.
+        def decomps(total, largest):
+            if total == 0:
+                yield ()
+                return
+            for part in range(min(total, largest), 0, -1):
+                for rest in decomps(total - part, part):
+                    yield (part,) + rest
+
+        worst = 0
+        for x in range(1, 16):
+            for parts in decomps(x, x):
+                m = max(parts)
+                k_full, rem = divmod(x, m)
+                balanced = k_full * sigma(m) + sigma(rem)
+                slack = balanced - sum(sigma(p) for p in parts)
+                worst = max(worst, slack)
+                assert slack <= k_full + 1, (x, parts)
+        assert worst >= 1  # the (4,3,3) counterexample family exists
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sigma(-1)
+
+
+class TestCanonicalTriangle:
+    @pytest.mark.parametrize("m", range(0, 100))
+    def test_size_and_footprint(self, m):
+        t = canonical_triangle(m)
+        assert len(t) == m
+        assert symmetric_footprint_size(t) == sigma(m)
+
+    def test_prefix_property(self):
+        # T(m') is a subset of T(m) for m' <= m (needed by Definition 4.2's
+        # union argument: the union of all restrictions is T(m)).
+        for m in range(0, 40):
+            for mp in range(0, m + 1):
+                assert canonical_triangle(mp) <= canonical_triangle(m)
+
+    def test_within_sigma_rows(self):
+        t = canonical_triangle(17)
+        s = sigma(17)
+        assert all(0 <= j < i < s for i, j in t)
+
+
+class TestFootprint:
+    def test_side_length(self):
+        assert side_length({(2, 0), (5, 0)}) == 3
+        assert side_length(set()) == 0
+
+    def test_max_elements_inverse(self):
+        for f in range(0, 50):
+            m = max_triangle_elements_for_footprint(f)
+            assert m == f * (f - 1) // 2
+            if m > 0:
+                assert sigma(m) <= f
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            max_triangle_elements_for_footprint(-2)

@@ -1,0 +1,165 @@
+"""Tests for repro.utils: intervals, fmt, rng, checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.checks import (
+    check_divides,
+    check_matrix,
+    check_nonnegative,
+    check_positive,
+    check_square,
+)
+from repro.utils.fmt import Table, banner, format_float, format_int, format_ratio
+from repro.utils.intervals import (
+    as_index_array,
+    block_ranges,
+    block_starts,
+    contiguous_runs,
+    is_strictly_increasing,
+    split_indices,
+)
+from repro.utils.rng import (
+    random_diag_dominant_matrix,
+    random_lower_triangular,
+    random_spd_matrix,
+    random_tall_matrix,
+)
+
+
+class TestIntervals:
+    def test_block_starts(self):
+        assert block_starts(0, 10, 4) == [0, 4, 8]
+        assert block_starts(3, 3, 4) == []
+        with pytest.raises(ValueError):
+            block_starts(0, 10, 0)
+        with pytest.raises(ValueError):
+            block_starts(5, 3, 1)
+
+    def test_block_ranges_cover_exactly(self):
+        for lo, hi, sz in [(0, 10, 4), (2, 17, 5), (0, 1, 3), (5, 5, 2)]:
+            ranges = block_ranges(lo, hi, sz)
+            flat = [x for a, b in ranges for x in range(a, b)]
+            assert flat == list(range(lo, hi))
+
+    def test_split_indices(self):
+        chunks = split_indices(np.arange(7), 3)
+        assert [list(c) for c in chunks] == [[0, 1, 2], [3, 4, 5], [6]]
+        assert split_indices(np.array([], dtype=np.int64), 3) == []
+
+    def test_contiguous_runs(self):
+        assert contiguous_runs(np.array([0, 1, 2, 5, 6, 9])) == [(0, 3), (5, 7), (9, 10)]
+        assert contiguous_runs(np.array([], dtype=np.int64)) == []
+        assert contiguous_runs(np.array([4])) == [(4, 5)]
+        with pytest.raises(ValueError):
+            contiguous_runs(np.array([3, 3]))
+
+    def test_runs_roundtrip(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            idx = np.unique(rng.integers(0, 60, size=25))
+            runs = contiguous_runs(idx)
+            rebuilt = np.concatenate([np.arange(a, b) for a, b in runs]) if runs else np.array([], dtype=np.int64)
+            np.testing.assert_array_equal(rebuilt, idx)
+
+    def test_as_index_array(self):
+        np.testing.assert_array_equal(as_index_array(range(3)), [0, 1, 2])
+        np.testing.assert_array_equal(as_index_array([5, 2]), [5, 2])
+        with pytest.raises(ValueError):
+            as_index_array(np.zeros((2, 2)))
+
+    def test_strictly_increasing(self):
+        assert is_strictly_increasing(np.array([1, 2, 9]))
+        assert not is_strictly_increasing(np.array([1, 1, 2]))
+        assert is_strictly_increasing(np.array([3]))
+
+
+class TestFmt:
+    def test_table_renders_aligned(self):
+        t = Table(["alg", "Q"])
+        t.add_row(["TBS", 1234])
+        t.add_row(["OCS", 17])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("alg")
+        assert len({len(line) for line in lines[:2]}) >= 1
+        assert "TBS" in text and "1234" in text
+
+    def test_table_formats(self):
+        t = Table(["x", "r"])
+        t.add_row([0.70716, 1.4142], formats=[format_float, format_ratio])
+        assert t.rows[0] == ["0.7072", "1.414x"]
+
+    def test_table_wrong_width(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_title_and_banner(self):
+        t = Table(["a"], title="T")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "T"
+        assert "hello" in banner("hello")
+        assert len(banner("hi", width=40)) == 40
+
+    def test_format_int(self):
+        assert format_int(1234567) == "1,234,567"
+
+    def test_format_float_zero(self):
+        assert format_float(0.0) == "0"
+
+
+class TestRng:
+    def test_tall_matrix_shape_and_determinism(self):
+        a = random_tall_matrix(8, 3, seed=1)
+        b = random_tall_matrix(8, 3, seed=1)
+        assert a.shape == (8, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spd_is_spd(self):
+        a = random_spd_matrix(20, seed=2)
+        np.testing.assert_allclose(a, a.T)
+        w = np.linalg.eigvalsh(a)
+        assert w.min() > 0.5
+
+    def test_diag_dominant(self):
+        a = random_diag_dominant_matrix(15, seed=3)
+        off = np.abs(a).sum(axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) > off - np.abs(np.diag(a)) - 1e-9)
+        # strict dominance: |a_ii| > sum_{j != i} |a_ij|
+        for i in range(15):
+            assert abs(a[i, i]) > np.abs(a[i]).sum() - abs(a[i, i])
+
+    def test_lower_triangular(self):
+        l = random_lower_triangular(10, seed=4)
+        assert np.allclose(np.triu(l, 1), 0)
+        assert np.all(np.abs(np.diag(l)) >= 1.0)
+        lu = random_lower_triangular(10, seed=4, unit_diagonal=True)
+        np.testing.assert_allclose(np.diag(lu), 1.0)
+
+
+class TestChecks:
+    def test_positive(self):
+        assert check_positive("x", 3) == 3
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ConfigurationError):
+                check_positive("x", bad)
+
+    def test_nonnegative(self):
+        assert check_nonnegative("x", 0) == 0
+        with pytest.raises(ConfigurationError):
+            check_nonnegative("x", -1)
+
+    def test_matrix_and_square(self):
+        assert check_matrix("m", np.zeros((2, 3))).shape == (2, 3)
+        with pytest.raises(ConfigurationError):
+            check_matrix("m", np.zeros(3))
+        assert check_square("m", np.zeros((2, 2))).shape == (2, 2)
+        with pytest.raises(ConfigurationError):
+            check_square("m", np.zeros((2, 3)))
+
+    def test_divides(self):
+        check_divides("b|n", 4, 12)
+        with pytest.raises(ConfigurationError):
+            check_divides("b|n", 5, 12)

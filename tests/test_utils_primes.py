@@ -1,0 +1,120 @@
+"""Tests for repro.utils.primes (Lemma 5.5 support machinery)."""
+
+import math
+
+import pytest
+
+from repro.utils.primes import (
+    coprime_count_in_primorial_interval,
+    coprime_gap_statistics,
+    euler_phi,
+    is_coprime,
+    is_coprime_with_range,
+    largest_coprime_below,
+    primes_up_to,
+    primorial_up_to,
+)
+
+
+class TestPrimesUpTo:
+    def test_small(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(2) == [2]
+        assert primes_up_to(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_count_to_1000(self):
+        assert len(primes_up_to(1000)) == 168  # pi(1000)
+
+    def test_all_prime(self):
+        for p in primes_up_to(500):
+            assert all(p % d for d in range(2, int(math.isqrt(p)) + 1)), p
+
+
+class TestPrimorial:
+    @pytest.mark.parametrize(
+        "n,q", [(1, 1), (2, 2), (3, 6), (4, 6), (5, 30), (6, 30), (7, 210), (10, 210), (13, 30030)]
+    )
+    def test_values(self, n, q):
+        assert primorial_up_to(n) == q
+
+    def test_algorithm4_constant(self):
+        # For triangle side k, Algorithm 4 uses q = primorial(k-2).
+        assert primorial_up_to(5 - 2) == 6  # k=5 (S=15): q = 2*3
+
+
+class TestCoprime:
+    def test_examples(self):
+        assert is_coprime(35, 6)
+        assert not is_coprime(9, 6)
+        assert is_coprime(1, 100)
+
+    def test_range_check_matches_primorial(self):
+        # c coprime with [2, k-2] <=> gcd(c, primorial(k-2)) == 1
+        for k in (4, 5, 6, 7, 9):
+            q = primorial_up_to(k - 2)
+            for c in range(1, 60):
+                assert is_coprime_with_range(c, 2, k - 2) == is_coprime(c, q)
+
+    def test_empty_range_vacuous(self):
+        assert is_coprime_with_range(12, 2, 1)
+
+
+class TestLargestCoprimeBelow:
+    def test_examples(self):
+        assert largest_coprime_below(30, 6) == 29
+        assert largest_coprime_below(24, 6) == 23
+        assert largest_coprime_below(25, 6) == 25
+        assert largest_coprime_below(0, 6) == 0
+
+    @pytest.mark.parametrize("q", [2, 6, 30, 210])
+    @pytest.mark.parametrize("bound", [1, 7, 29, 100, 211])
+    def test_is_maximal_and_coprime(self, q, bound):
+        c = largest_coprime_below(bound, q)
+        assert 1 <= c <= bound
+        assert math.gcd(c, q) == 1
+        for better in range(c + 1, bound + 1):
+            assert math.gcd(better, q) != 1
+
+    def test_existence_guarantee(self):
+        # a*q + 1 is always coprime with q, so a value exists for bound >= 1.
+        for q in (6, 30, 210, 2310):
+            assert largest_coprime_below(1, q) == 1
+
+
+class TestIntervalCounts:
+    @pytest.mark.parametrize("limit,expected", [(2, 1), (3, 2), (5, 8), (7, 48)])
+    def test_product_formula(self, limit, expected):
+        assert coprime_count_in_primorial_interval(limit) == expected
+
+    @pytest.mark.parametrize("limit", [2, 3, 5, 7])
+    def test_matches_euler_phi_and_brute_force(self, limit):
+        q = primorial_up_to(limit)
+        expected = coprime_count_in_primorial_interval(limit)
+        assert expected == euler_phi(q)
+        # Exhaustive check on three consecutive primorial intervals.
+        for a in (1, 2, 3):
+            lo, hi = (a - 1) * q, a * q - 1
+            count = sum(1 for x in range(lo, hi + 1) if math.gcd(x, q) == 1)
+            assert count == expected
+
+
+class TestEulerPhi:
+    @pytest.mark.parametrize("n,phi", [(1, 1), (2, 1), (6, 2), (9, 6), (30, 8), (97, 96), (100, 40)])
+    def test_values(self, n, phi):
+        assert euler_phi(n) == phi
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            euler_phi(0)
+
+
+class TestGapStatistics:
+    def test_gaps_bounded_by_q(self):
+        stats = coprime_gap_statistics(6, range(10, 200))
+        assert stats["max"] <= 6
+        assert stats["mean"] <= stats["max"]
+        assert stats["count"] == 190
+
+    def test_empty(self):
+        stats = coprime_gap_statistics(6, [])
+        assert stats["count"] == 0

@@ -1,0 +1,113 @@
+"""Tests for the figure renderers: structure witnessed, not just drawn."""
+
+import pytest
+
+from repro.core.partition import plan_partition
+from repro.errors import ConfigurationError
+from repro.viz.ascii import CharGrid
+from repro.viz.figures import (
+    render_indexing_positions,
+    render_lbc_iteration,
+    render_tbs_layout,
+    render_zones_and_blocks,
+)
+
+
+class TestCharGrid:
+    def test_put_get_render(self):
+        g = CharGrid(2, 3, fill=".")
+        g.put(0, 1, "x")
+        assert g.get(0, 1) == "x"
+        assert g.render() == ".x.\n..."
+
+    def test_fill_rect(self):
+        g = CharGrid(3, 3)
+        g.fill_rect(1, 3, 0, 2, "#")
+        assert g.render().splitlines()[2] == "##."
+
+    def test_rulers(self):
+        g = CharGrid(2, 12)
+        text = g.render(rulers=True)
+        assert text.splitlines()[0].strip().startswith("0123456789")
+
+    def test_bounds(self):
+        g = CharGrid(2, 2)
+        with pytest.raises(IndexError):
+            g.put(2, 0, "x")
+        with pytest.raises(ValueError):
+            g.put(0, 0, "xy")
+        with pytest.raises(ValueError):
+            CharGrid(-1, 2)
+
+
+class TestFigure1:
+    def test_blocks_place_one_element_per_zone(self):
+        part = plan_partition(27, 5)
+        text = render_zones_and_blocks(part, blocks=[(0, 0)], rulers=False)
+        lines = text.splitlines()
+        # Count block marks: a side-k triangle block has k(k-1)/2 elements.
+        marks = sum(line.count("A") for line in lines)
+        assert marks == 5 * 4 // 2
+        # each mark in a distinct square zone: zone = (row-group, col-group)
+        zones = set()
+        for r, line in enumerate(lines):
+            for c, ch in enumerate(line):
+                if ch == "A":
+                    zones.add((r // part.c, c // part.c))
+        assert len(zones) == 5 * 4 // 2
+
+    def test_two_blocks_do_not_collide(self):
+        part = plan_partition(27, 5)
+        text = render_zones_and_blocks(part, blocks=[(0, 0), (2, 1)])
+        assert sum(line.count("B") for line in text.splitlines()) == 10
+
+
+class TestFigure2:
+    def test_indexing_positions_match_family(self):
+        part = plan_partition(27, 5)
+        text = render_indexing_positions(part, 2, 3)
+        lines = [l for l in text.splitlines() if l.strip().startswith("u=")]
+        assert len(lines) == part.k
+        for u, line in enumerate(lines):
+            pos = part.family.position(2, 3, u)
+            assert f"f({u}) = {pos}" in line
+            bracket = line[line.index("[") + 1 : line.index("]")]
+            assert bracket[pos] == "*"
+            assert bracket.count("*") == 1
+
+    def test_layout_regions_counted(self):
+        n, k = 27, 5
+        text = render_tbs_layout(n, k)
+        part = plan_partition(n, k)
+        joined = "".join(text.splitlines())
+        n_t = joined.count("T")
+        n_r = joined.count("r")
+        n_s = joined.count("s")
+        # T = inter-group pairs, r = intra-group lower (incl diag), s = strip
+        assert n_t == part.k * (part.k - 1) // 2 * part.c**2
+        assert n_r == part.k * (part.c * (part.c + 1) // 2)
+        assert n_s == sum(r + 1 for r in range(part.covered, n))
+        assert n_t + n_r + n_s == n * (n + 1) // 2
+
+    def test_layout_fallback(self):
+        text = render_tbs_layout(8, 5)
+        assert "F" in text and "T" not in text
+
+
+class TestFigure3:
+    def test_panel_areas(self):
+        n, b, i = 12, 3, 1
+        text = render_lbc_iteration(n, b, i)
+        joined = "".join(text.splitlines())
+        lo, hi = i * b, (i + 1) * b
+        assert joined.count("L") == sum(min(r + 1, lo) for r in range(n))
+        assert joined.count("C") == b * (b + 1) // 2 + 0  # diagonal block lower
+        assert joined.count("t") == (n - hi) * b
+        # everything lower-triangular is exactly one of L/C/t/S
+        assert sum(joined.count(ch) for ch in "LCtS") == n * (n + 1) // 2
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            render_lbc_iteration(10, 3, 0)
+        with pytest.raises(ConfigurationError):
+            render_lbc_iteration(12, 3, 4)
