@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Dependency-graph rescheduling: discover cheaper legal orders of a trace.
+
+The paper's message is that I/O volume is a property of the *order* of
+computations.  This example makes that concrete end to end:
+
+1. record the TBS schedule for C += A Aᵀ as a flat op stream;
+2. extract its task DAG — for SYRK, a forest of commuting reduction chains
+   (one per triangle block), with no other dependences at all;
+3. re-schedule the DAG under the worklist heuristics and dress each order
+   back up with explicit loads/evicts (load-on-demand, evict-by-furthest-
+   next-use);
+4. validate every stream against the model's rules, replay it on a fresh
+   machine, and check the result is bit-identical to the original;
+5. compare against LRU and Belady/MIN replays of the original order.
+
+Run:  python examples/dag_rescheduling.py
+"""
+
+import numpy as np
+
+from repro.analysis.lru_replay import lru_replay
+from repro.graph import belady_replay, compare_case, dependency_graph, record_case
+from repro.graph.scheduler import HEURISTICS
+from repro.utils.fmt import Table, banner, format_int
+
+N, M, S = 40, 6, 15
+
+
+def main() -> None:
+    print(banner("DAG rescheduling: legal orders of the TBS op stream"))
+    case = record_case("tbs", N, M, S)
+    graph = dependency_graph(case.schedule)
+    counts = graph.edge_counts()
+    print(
+        f"recorded {len(graph)} compute ops; dependence edges: "
+        f"{counts['raw']} RAW, {counts['war']} WAR, {counts['waw']} WAW, "
+        f"{counts['reduction']} reduction (commuting +=)"
+    )
+    print(
+        f"critical path: {graph.critical_path_length()} ops across "
+        f"{len(graph.reduction_classes())} reduction classes — "
+        "the DAG is almost embarrassingly parallel"
+    )
+
+    comp = compare_case(case, HEURISTICS, check_numerics=True)
+    t = Table(["order / policy", "Q (loads)", "stores", "legal", "bit-identical"])
+    for row in comp.rows:
+        t.add_row(
+            [row.label, format_int(row.loads), format_int(row.stores),
+             "-" if row.valid is None else str(row.valid),
+             "-" if row.exact is None else str(row.exact)]
+        )
+    print()
+    print(t.render())
+
+    lru = lru_replay(case.schedule, S)
+    opt = belady_replay(case.schedule, S)
+    best = min(comp.row(f"reschedule:{h}").loads for h in HEURISTICS)
+    print()
+    print(f"explicit TBS stream:        Q = {case.explicit_loads:,}")
+    print(f"best rescheduled stream:    Q = {best:,} (validated, bit-identical result)")
+    print(f"LRU replay of the order:    Q = {lru.loads:,}")
+    print(f"Belady floor of the order:  Q = {opt.loads:,}")
+    print()
+    print("Every legal reordering reproduces the original result exactly; the")
+    print("I/O difference is pure scheduling, which is the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

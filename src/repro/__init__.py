@@ -15,6 +15,9 @@ The package provides:
   operation-set combinatorics (``D(B)``, Prop. 3.4);
 * :mod:`repro.analysis` — exact I/O predictors, operational-intensity
   rooflines, and sweep harnesses that regenerate every experiment;
+* :mod:`repro.graph` — the dependency-graph scheduling engine: task-DAG
+  extraction from recorded schedules, worklist re-scheduling under
+  pluggable heuristics, Belady/MIN replay, and load/evict regeneration;
 * :mod:`repro.viz` — ASCII renderers for the paper's Figures 1–3.
 
 Quickstart::
@@ -88,6 +91,14 @@ from .kernels import (
     syrk_reference,
     trsm_right_lower_transpose,
 )
+from .graph import (
+    DependencyGraph,
+    belady_replay,
+    dependency_graph,
+    list_schedule,
+    reschedule,
+    rewrite_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -136,5 +147,11 @@ __all__ = [
     "lu_nopivot_reference",
     "syrk_reference",
     "trsm_right_lower_transpose",
+    "DependencyGraph",
+    "belady_replay",
+    "dependency_graph",
+    "list_schedule",
+    "reschedule",
+    "rewrite_schedule",
     "__version__",
 ]

@@ -24,7 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
-from ..sched.schedule import ComputeStep, Schedule
+from ..sched.schedule import Schedule, access_sequence
 
 
 @dataclass(frozen=True)
@@ -49,56 +49,38 @@ class LruReplayResult:
 def lru_replay(schedule: Schedule, capacity: int) -> LruReplayResult:
     """Replay the compute ops of ``schedule`` under an LRU cache.
 
-    Reads and writes touch whole declared regions, element by element;
-    writes mark elements dirty.  Evicted dirty elements count as stores,
-    as do dirty elements flushed at the end.
+    Walks the canonical element access sequence
+    (:func:`~repro.sched.schedule.access_sequence`, shared with the
+    Belady/MIN replay so the two are directly comparable); writes mark
+    elements dirty.  Evicted dirty elements count as stores, as do dirty
+    elements flushed at the end.
     """
     if capacity < 1:
         raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    seq = access_sequence(schedule)
     cache: OrderedDict[tuple[str, int], bool] = OrderedDict()
-    loads = stores = n_accesses = 0
+    loads = stores = 0
     seen: set[tuple[str, int]] = set()
 
-    def touch(matrix: str, flat, write: bool) -> None:
-        nonlocal loads, stores, n_accesses
-        for idx in flat:
-            key = (matrix, int(idx))
-            n_accesses += 1
-            seen.add(key)
-            if key in cache:
-                dirty = cache.pop(key)
-                cache[key] = dirty or write
-            else:
-                while len(cache) >= capacity:
-                    _victim, dirty = cache.popitem(last=False)
-                    if dirty:
-                        stores += 1
-                cache[key] = write
-                loads += 1
-
-    for step in schedule.steps:
-        if not isinstance(step, ComputeStep):
-            continue
-        write_keys = {
-            (region.matrix, int(i)) for region in step.op.writes() for i in region.flat
-        }
-        for region in step.op.reads():
-            for idx in region.flat:
-                touch(region.matrix, [idx], (region.matrix, int(idx)) in write_keys)
-        # writes not covered by any read region (none in this library's ops,
-        # whose written regions are subsets of reads — asserted cheaply):
-        for region in step.op.writes():
-            for idx in region.flat:
-                key = (region.matrix, int(idx))
-                if key not in cache:
-                    touch(region.matrix, [idx], True)
+    for key, write in seq:
+        seen.add(key)
+        if key in cache:
+            dirty = cache.pop(key)
+            cache[key] = dirty or write
+        else:
+            while len(cache) >= capacity:
+                _victim, dirty = cache.popitem(last=False)
+                if dirty:
+                    stores += 1
+            cache[key] = write
+            loads += 1
 
     stores += sum(1 for dirty in cache.values() if dirty)
     return LruReplayResult(
         capacity=capacity,
         loads=loads,
         stores=stores,
-        n_accesses=n_accesses,
+        n_accesses=len(seq),
         distinct=len(seen),
     )
 

@@ -1,0 +1,188 @@
+"""Record→analyze→reschedule harness shared by the CLI, bench and tests.
+
+One :class:`RecordedCase` bundles everything the graph layer needs to reason
+about a kernel run: the recorded schedule, the capacity it ran at, its
+explicit I/O volume, the relevant lower bound, a factory for fresh machines
+holding the *same* input values (for numeric replay checks), and the
+original results to compare against.
+
+:func:`compare_case` produces the full comparison for one case: explicit
+volume, LRU and Belady replays of the original order, and a validated,
+numerically-checked rewrite per scheduling heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.lru_replay import lru_replay
+from ..baselines.ooc_chol import ooc_chol
+from ..baselines.ooc_syrk import ooc_syrk
+from ..core.bounds import cholesky_lower_bound, syrk_lower_bound
+from ..core.syr2k import syr2k_lower_bound, tbs_syr2k
+from ..core.tbs import tbs_syrk
+from ..errors import ConfigurationError
+from ..machine.machine import TwoLevelMachine
+from ..sched.schedule import Schedule, record_schedule, replay_schedule
+from ..utils.rng import random_spd_matrix, random_tall_matrix
+from .dependency import DependencyGraph, dependency_graph
+from .policies import belady_replay
+from .rewriter import RewriteResult, reschedule
+from .scheduler import HEURISTICS
+
+#: Kernels the harness can record (name -> human description).
+CASES = {
+    "tbs": "TBS SYRK (Algorithm 4)",
+    "ocs": "OOC_SYRK (Bereux square tiles)",
+    "syr2k": "TBS SYR2K extension",
+    "chol": "OOC_CHOL (left-looking Cholesky)",
+}
+
+
+@dataclass
+class RecordedCase:
+    """A recorded kernel run plus everything needed to replay/compare it."""
+
+    name: str
+    schedule: Schedule
+    capacity: int
+    explicit_loads: int
+    explicit_stores: int
+    lower_bound: float
+    make_machine: Callable[[], TwoLevelMachine]
+    result_names: list[str]
+    reference: dict[str, np.ndarray]
+
+    def check_exact(self, rewritten: Schedule) -> bool:
+        """Replay ``rewritten`` on a fresh machine; results bit-identical?"""
+        m = self.make_machine()
+        replay_schedule(rewritten, m)
+        m.assert_empty()
+        return all(
+            np.array_equal(m.result(name), self.reference[name])
+            for name in self.result_names
+        )
+
+
+def record_case(name: str, n: int, mcols: int, s: int, seed: int = 0) -> RecordedCase:
+    """Run one kernel with numerics on, recording its schedule."""
+    if name in ("tbs", "ocs"):
+        a = random_tall_matrix(n, mcols, seed=seed)
+
+        def make_machine() -> TwoLevelMachine:
+            m = TwoLevelMachine(s)
+            m.add_matrix("A", a)
+            m.add_matrix("C", np.zeros((n, n)))
+            return m
+
+        fn = tbs_syrk if name == "tbs" else ooc_syrk
+        m = make_machine()
+        schedule = record_schedule(m, lambda: fn(m, "A", "C", range(n), range(mcols)))
+        bound = syrk_lower_bound(n, mcols, s, form="exact")
+        results = ["C"]
+    elif name == "syr2k":
+        a = random_tall_matrix(n, mcols, seed=seed)
+        b = random_tall_matrix(n, mcols, seed=seed + 1)
+
+        def make_machine() -> TwoLevelMachine:
+            m = TwoLevelMachine(s)
+            m.add_matrix("A", a)
+            m.add_matrix("B", b)
+            m.add_matrix("C", np.zeros((n, n)))
+            return m
+
+        m = make_machine()
+        schedule = record_schedule(
+            m, lambda: tbs_syr2k(m, "A", "B", "C", range(n), range(mcols))
+        )
+        bound = syr2k_lower_bound(n, mcols, s, form="exact")
+        results = ["C"]
+    elif name == "chol":
+        spd = random_spd_matrix(n, seed=seed)
+
+        def make_machine() -> TwoLevelMachine:
+            m = TwoLevelMachine(s)
+            m.add_matrix("A", spd.copy())
+            return m
+
+        m = make_machine()
+        schedule = record_schedule(m, lambda: ooc_chol(m, "A", range(n)))
+        bound = cholesky_lower_bound(n, s, form="exact")
+        results = ["A"]
+    else:
+        raise ConfigurationError(f"unknown case {name!r}; choose from {', '.join(CASES)}")
+
+    m.assert_empty()
+    return RecordedCase(
+        name=name,
+        schedule=schedule,
+        capacity=s,
+        explicit_loads=m.stats.loads,
+        explicit_stores=m.stats.stores,
+        lower_bound=bound,
+        make_machine=make_machine,
+        result_names=results,
+        reference={r: m.result(r).copy() for r in results},
+    )
+
+
+@dataclass
+class ComparisonRow:
+    """One line of the E12 table: an order/policy pair and its volume."""
+
+    label: str
+    loads: int
+    stores: int
+    valid: bool | None = None   # None: not an explicit stream (pure replay)
+    exact: bool | None = None   # None: numerics not applicable/checked
+
+
+@dataclass
+class Comparison:
+    """Everything :func:`compare_case` measures for one recorded case."""
+
+    case: RecordedCase
+    graph: DependencyGraph
+    rows: list[ComparisonRow] = field(default_factory=list)
+    rewrites: dict[str, RewriteResult] = field(default_factory=dict)
+
+    def row(self, label: str) -> ComparisonRow:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(label)
+
+
+def compare_case(
+    case: RecordedCase,
+    heuristics: tuple[str, ...] = HEURISTICS,
+    *,
+    check_numerics: bool = True,
+) -> Comparison:
+    """Explicit vs LRU vs Belady vs rescheduled volumes for one case."""
+    graph = dependency_graph(case.schedule)
+    comp = Comparison(case=case, graph=graph)
+    comp.rows.append(
+        ComparisonRow("explicit", case.explicit_loads, case.explicit_stores, valid=True, exact=True)
+    )
+    lru = lru_replay(case.schedule, case.capacity)
+    comp.rows.append(ComparisonRow("lru", lru.loads, lru.stores))
+    opt = belady_replay(case.schedule, case.capacity)
+    comp.rows.append(ComparisonRow("belady", opt.loads, opt.stores))
+    for heuristic in heuristics:
+        rewrite = reschedule(case.schedule, case.capacity, heuristic, graph=graph)
+        exact = case.check_exact(rewrite.schedule) if check_numerics else None
+        comp.rewrites[heuristic] = rewrite
+        comp.rows.append(
+            ComparisonRow(
+                f"reschedule:{heuristic}",
+                rewrite.loads,
+                rewrite.stores,
+                valid=True,  # reschedule() already ran validate_schedule
+                exact=exact,
+            )
+        )
+    return comp

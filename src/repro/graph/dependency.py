@@ -1,0 +1,272 @@
+"""Dependency graphs over recorded compute-op streams.
+
+A recorded :class:`~repro.sched.schedule.Schedule` fixes one total order of
+compute ops, but the paper's central observation (shared with Kwasniewski
+et al.'s parallel-optimality work) is that I/O volume is a property of the
+*order*, and many orders are legal.  :class:`DependencyGraph` extracts the
+partial order actually imposed by the data: element-granular RAW / WAR /
+WAW dependences derived from :class:`~repro.machine.regions.Region` overlap.
+
+Commuting accumulations get special treatment.  Every ``+=`` update op in
+this library (:class:`~repro.sched.ops.OuterColsUpdate`,
+:class:`~repro.sched.ops.TriangleUpdate`,
+:class:`~repro.sched.ops.TriangleCrossUpdate`,
+:class:`~repro.sched.ops.GemmOuterUpdate`) adds an input-independent
+contribution into its output region, so two such ops targeting overlapping
+elements commute *algebraically* — they form a reduction class, not a chain
+of hard WAW hazards.  The graph records the original accumulation order as
+``"reduction"`` edges (a chain per element).  Kept, any topological order
+reproduces the original per-element summation order and therefore the
+original result bit for bit; dropped (``relax_reductions=True``), the legal
+order space grows and results are equal only up to floating-point
+reassociation.
+
+Edge kinds:
+
+``"raw"``        true dependence (producer before consumer);
+``"war"``        anti dependence (reader before overwriter/accumulator);
+``"waw"``        output dependence between non-commuting writers;
+``"reduction"``  original order of commuting accumulations into a shared
+                 element (relaxable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..sched.ops import (
+    ComputeOp,
+    GemmOuterUpdate,
+    OuterColsUpdate,
+    TriangleCrossUpdate,
+    TriangleUpdate,
+)
+from ..sched.schedule import ComputeStep, Schedule
+
+#: Op types whose writes are pure ``+=`` accumulations of contributions that
+#: do not depend on the accumulator's current value.  Any two of these
+#: commute on shared output elements (up to FP reassociation).
+COMMUTING_ACCUMULATIONS: tuple[type, ...] = (
+    OuterColsUpdate,
+    TriangleUpdate,
+    TriangleCrossUpdate,
+    GemmOuterUpdate,
+)
+
+
+def is_commuting_accumulation(op: ComputeOp) -> bool:
+    """Is ``op`` a pure additive update (reorderable within its class)?"""
+    return isinstance(op, COMMUTING_ACCUMULATIONS)
+
+
+@dataclass
+class OpNode:
+    """One compute op of the stream, with its element-granular access sets."""
+
+    index: int
+    op: ComputeOp
+    #: (matrix, flat-index) keys the op truly reads as *input*.  For a
+    #: commuting accumulation the accumulated output region is excluded
+    #: (its read of the running sum is what the reduction edges model);
+    #: for every other op reads are taken verbatim.
+    input_keys: frozenset[tuple[str, int]] = field(repr=False, default=frozenset())
+    #: (matrix, flat-index) keys the op writes.
+    write_keys: frozenset[tuple[str, int]] = field(repr=False, default=frozenset())
+
+    @property
+    def is_accumulation(self) -> bool:
+        return is_commuting_accumulation(self.op)
+
+    def touched_keys(self) -> frozenset[tuple[str, int]]:
+        """All elements the op touches (inputs plus outputs)."""
+        return self.input_keys | self.write_keys
+
+
+def _region_keys(regions) -> set[tuple[str, int]]:
+    keys: set[tuple[str, int]] = set()
+    for region in regions:
+        name = region.matrix
+        keys.update((name, int(i)) for i in region.flat)
+    return keys
+
+
+class DependencyGraph:
+    """The data-dependence partial order of a schedule's compute ops."""
+
+    def __init__(self, nodes: list[OpNode]):
+        self.nodes = nodes
+        # succs[u] / preds[v]: neighbor -> set of edge kinds.
+        self.succs: list[dict[int, set[str]]] = [dict() for _ in nodes]
+        self.preds: list[dict[int, set[str]]] = [dict() for _ in nodes]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_schedule(cls, schedule: Schedule) -> "DependencyGraph":
+        """Extract the dependence DAG from a schedule's compute steps.
+
+        Loads and evicts are ignored: they are an artifact of one explicit
+        memory-management strategy, and the whole point of the graph layer
+        is to re-derive them (see :mod:`repro.graph.rewriter`).
+        """
+        ops = [s.op for s in schedule.steps if isinstance(s, ComputeStep)]
+        nodes: list[OpNode] = []
+        for i, op in enumerate(ops):
+            writes = _region_keys(op.writes())
+            reads = _region_keys(op.reads())
+            inputs = reads - writes if is_commuting_accumulation(op) else reads
+            nodes.append(
+                OpNode(index=i, op=op, input_keys=frozenset(inputs), write_keys=frozenset(writes))
+            )
+        graph = cls(nodes)
+        graph._build_edges()
+        return graph
+
+    def _add_edge(self, u: int, v: int, kind: str) -> None:
+        if u == v:
+            return
+        self.succs[u].setdefault(v, set()).add(kind)
+        self.preds[v].setdefault(u, set()).add(kind)
+
+    def _build_edges(self) -> None:
+        # Per-element dependence state, cleared by sequential (non-commuting)
+        # writes: the last sequential writer, the commuting accumulators
+        # since, and the input-readers since the last write of any kind.
+        last_seq: dict[tuple[str, int], int] = {}
+        accs: dict[tuple[str, int], list[int]] = {}
+        readers: dict[tuple[str, int], list[int]] = {}
+
+        for node in self.nodes:
+            v = node.index
+            for key in node.input_keys:
+                if key in last_seq:
+                    self._add_edge(last_seq[key], v, "raw")
+                # A true read needs *every* accumulation so far: partial sums
+                # are meaningless, so each contributes a RAW edge.
+                for u in accs.get(key, ()):
+                    self._add_edge(u, v, "raw")
+                readers.setdefault(key, []).append(v)
+            if node.is_accumulation:
+                for key in node.write_keys:
+                    if key in last_seq:
+                        self._add_edge(last_seq[key], v, "raw")
+                    for u in readers.get(key, ()):
+                        self._add_edge(u, v, "war")
+                    chain = accs.setdefault(key, [])
+                    if chain:
+                        self._add_edge(chain[-1], v, "reduction")
+                    chain.append(v)
+            else:
+                for key in node.write_keys:
+                    for u in readers.get(key, ()):
+                        self._add_edge(u, v, "war")
+                    if key in last_seq:
+                        self._add_edge(last_seq[key], v, "waw")
+                    for u in accs.get(key, ()):
+                        # Accumulations must finish before an overwrite.
+                        self._add_edge(u, v, "waw")
+                    last_seq[key] = v
+                    accs.pop(key, None)
+                    readers.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edges(self) -> list[tuple[int, int, frozenset[str]]]:
+        """All edges as ``(u, v, kinds)`` triples, u emitted before v."""
+        return [
+            (u, v, frozenset(kinds))
+            for u in range(len(self.nodes))
+            for v, kinds in sorted(self.succs[u].items())
+        ]
+
+    def edge_counts(self) -> dict[str, int]:
+        """Number of edges carrying each dependence kind."""
+        out = {"raw": 0, "war": 0, "waw": 0, "reduction": 0}
+        for _u, _v, kinds in self.edges():
+            for k in kinds:
+                out[k] += 1
+        return out
+
+    def effective_preds(self, v: int, *, relax_reductions: bool = False) -> list[int]:
+        """Predecessors of ``v``, optionally dropping reduction-only edges."""
+        if not relax_reductions:
+            return list(self.preds[v])
+        return [u for u, kinds in self.preds[v].items() if kinds != {"reduction"}]
+
+    def effective_succs(self, u: int, *, relax_reductions: bool = False) -> list[int]:
+        if not relax_reductions:
+            return list(self.succs[u])
+        return [v for v, kinds in self.succs[u].items() if kinds != {"reduction"}]
+
+    def indegrees(self, *, relax_reductions: bool = False) -> list[int]:
+        return [
+            len(self.effective_preds(v, relax_reductions=relax_reductions))
+            for v in range(len(self.nodes))
+        ]
+
+    def depths(self) -> list[int]:
+        """Longest-path depth of each node from the DAG sources (edges kept)."""
+        depth = [0] * len(self.nodes)
+        for v in range(len(self.nodes)):  # original order is topological
+            for u in self.preds[v]:
+                depth[v] = max(depth[v], depth[u] + 1)
+        return depth
+
+    def critical_path_length(self) -> int:
+        """Longest chain length (nodes) — the span of the task DAG."""
+        if not self.nodes:
+            return 0
+        return max(self.depths()) + 1
+
+    def is_valid_order(self, order: list[int], *, relax_reductions: bool = False) -> bool:
+        """Does ``order`` (a permutation of node indices) respect the DAG?"""
+        if sorted(order) != list(range(len(self.nodes))):
+            return False
+        position = {v: i for i, v in enumerate(order)}
+        for v in range(len(self.nodes)):
+            for u in self.effective_preds(v, relax_reductions=relax_reductions):
+                if position[u] >= position[v]:
+                    return False
+        return True
+
+    def reduction_classes(self) -> list[list[int]]:
+        """Maximal groups of accumulations linked by reduction-only edges.
+
+        Two accumulations land in the same class when a chain of edges whose
+        kinds are exactly ``{"reduction"}`` connects them — i.e. the group of
+        ops that commute with each other once reductions are relaxed.
+        """
+        parent = list(range(len(self.nodes)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v, kinds in self.edges():
+            if kinds == {"reduction"}:
+                parent[find(u)] = find(v)
+        groups: dict[int, list[int]] = {}
+        for v in range(len(self.nodes)):
+            groups.setdefault(find(v), []).append(v)
+        return sorted((g for g in groups.values() if len(g) > 1), key=lambda g: g[0])
+
+    def topological_order(self, *, relax_reductions: bool = False) -> list[int]:
+        """A canonical (original-index-first) topological order."""
+        from .scheduler import list_schedule  # local import: avoid cycle
+
+        return list_schedule(self, heuristic="original", relax_reductions=relax_reductions).order
+
+
+def dependency_graph(schedule: Schedule) -> DependencyGraph:
+    """Convenience: :meth:`DependencyGraph.from_schedule`."""
+    if not isinstance(schedule, Schedule):
+        raise ConfigurationError(f"expected a Schedule, got {type(schedule).__name__}")
+    return DependencyGraph.from_schedule(schedule)

@@ -1,0 +1,102 @@
+"""Belady/MIN optimal-replacement replay: the per-order I/O floor.
+
+:func:`~repro.analysis.lru_replay.lru_replay` answers "what does this op
+*order* cost under hardware-style LRU replacement?".  This module answers
+the complementary question: what is the *best possible* cost of that order
+under any replacement policy?  Belady's MIN rule — on a miss, evict the
+resident element whose next use is furthest in the future — is optimal for
+a fixed access sequence and capacity, so ``belady_replay`` gives the
+per-order floor that separates "this order is intrinsically expensive" from
+"LRU is just managing it badly".
+
+Both replays walk the *same* element access sequence
+(:func:`~repro.sched.schedule.access_sequence`), so their load counts are
+directly comparable: for every schedule and capacity,
+``belady_replay(s, c).loads <= lru_replay(s, c).loads``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..analysis.lru_replay import LruReplayResult, lru_replay
+from ..errors import ConfigurationError
+from ..sched.ops import ComputeOp
+from ..sched.schedule import Schedule, access_sequence
+
+__all__ = ["NEVER", "BeladyReplayResult", "access_sequence", "belady_replay", "replacement_gap"]
+
+#: Sentinel next-use position for "never used again".
+NEVER = 1 << 62
+
+
+class BeladyReplayResult(LruReplayResult):
+    """Outcome of replaying an op order under MIN-optimal replacement.
+
+    Same shape and conventions as the LRU result (loads, stores,
+    n_accesses, distinct, ``q``, ``miss_rate``) — the policies differ, the
+    accounting does not.
+    """
+
+
+def belady_replay(schedule: Schedule | list[ComputeOp], capacity: int) -> BeladyReplayResult:
+    """Replay the compute ops of ``schedule`` under Belady's MIN policy.
+
+    On a miss with a full cache, the resident element with the furthest next
+    use is evicted (clean victims preferred among equally-distant ones, so
+    stores are not inflated).  Dirty evictions and the final flush count as
+    stores, exactly as in the LRU replay.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    seq = access_sequence(schedule)
+
+    # next_use[i]: position of the next access to seq[i]'s key, else NEVER.
+    next_use = [NEVER] * len(seq)
+    last_pos: dict[tuple[str, int], int] = {}
+    for i in range(len(seq) - 1, -1, -1):
+        key = seq[i][0]
+        next_use[i] = last_pos.get(key, NEVER)
+        last_pos[key] = i
+
+    cache: dict[tuple[str, int], bool] = {}          # key -> dirty
+    cur_next: dict[tuple[str, int], int] = {}        # key -> its next use
+    heap: list[tuple[int, int, tuple[str, int]]] = []  # (-next_use, dirty, key), lazy
+    loads = stores = 0
+
+    for pos, (key, write) in enumerate(seq):
+        if key in cache:
+            cache[key] = cache[key] or write
+        else:
+            while len(cache) >= capacity:
+                nu, _dirty_hint, victim = heapq.heappop(heap)
+                if victim in cache and cur_next.get(victim) == -nu:
+                    dirty = cache.pop(victim)
+                    del cur_next[victim]
+                    if dirty:
+                        stores += 1
+            cache[key] = write
+            loads += 1
+        cur_next[key] = next_use[pos]
+        heapq.heappush(heap, (-next_use[pos], 0 if not cache[key] else 1, key))
+
+    stores += sum(1 for dirty in cache.values() if dirty)
+    return BeladyReplayResult(
+        capacity=capacity,
+        loads=loads,
+        stores=stores,
+        n_accesses=len(seq),
+        distinct=len(last_pos),
+    )
+
+
+def replacement_gap(schedule: Schedule, capacity: int) -> float:
+    """``Q_LRU / Q_MIN`` at equal capacity: how much LRU leaves on the table.
+
+    1.0 means the order is so cache-friendly that LRU is already optimal;
+    large values mean the order genuinely needs clairvoyant replacement.
+    """
+    opt = belady_replay(schedule, capacity).loads
+    if opt <= 0:
+        return 1.0
+    return lru_replay(schedule, capacity).loads / opt

@@ -1,0 +1,193 @@
+"""Regenerate explicit load/evict streams for a (re)ordered op sequence.
+
+The dependency layer deals in *compute* orders only; to run one on a
+:class:`~repro.machine.machine.TwoLevelMachine` (or validate it against the
+model's rules) it must be dressed back up as a full
+:class:`~repro.sched.schedule.Schedule` with explicit
+:class:`~repro.sched.schedule.LoadStep` / :class:`~repro.sched.schedule.EvictStep`
+traffic.  :func:`rewrite_ops` does this with the canonical optimal policy
+for a fixed order:
+
+* **load on demand** — before each compute, load exactly the op's
+  non-resident elements (grouped into one region per matrix);
+* **evict by furthest next use** — under capacity pressure, evict the
+  resident elements whose next use (at op granularity) is furthest away,
+  dead elements first; Belady's MIN rule, so the generated stream's load
+  volume is the floor for that compute order at that capacity;
+* **lazy writeback** — an evicted element is written back iff some executed
+  op wrote it since it was (re)loaded; everything still resident at the end
+  is flushed, so the stream satisfies the validator's empty-end rule.
+
+:func:`reschedule` is the end-to-end pipeline: dependency graph → list
+scheduler → rewrite → :func:`~repro.sched.validate.validate_schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..machine.regions import Region
+from ..sched.ops import ComputeOp
+from ..sched.schedule import ComputeStep, EvictStep, LoadStep, Schedule, Step
+from ..sched.validate import validate_schedule
+from .dependency import DependencyGraph, dependency_graph
+from .policies import NEVER
+from .scheduler import ListScheduleResult, list_schedule
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten schedule plus the order and I/O volume that produced it."""
+
+    schedule: Schedule
+    order: list[int]
+    heuristic: str
+    loads: int
+    stores: int
+    summary: dict[str, int]
+
+    @property
+    def io_volume(self) -> int:
+        return self.loads + self.stores
+
+
+def _op_keys(op: ComputeOp) -> tuple[list[tuple[str, int]], set[tuple[str, int]]]:
+    """(deduped touched keys in region order, write-key set) for one op."""
+    writes = {(r.matrix, int(i)) for r in op.writes() for i in r.flat}
+    touched: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
+    for region in list(op.reads()) + list(op.writes()):
+        for i in region.flat:
+            key = (region.matrix, int(i))
+            if key not in seen:
+                seen.add(key)
+                touched.append(key)
+    return touched, writes
+
+
+def _grouped_regions(keys, dirty_of=None):
+    """Group element keys into one region per matrix (and dirty flag if given)."""
+    groups: dict = {}
+    for key in keys:
+        matrix, flat = key
+        gk = matrix if dirty_of is None else (matrix, dirty_of[key])
+        groups.setdefault(gk, []).append(flat)
+    for gk in sorted(groups, key=str):
+        flats = np.array(sorted(groups[gk]), dtype=np.int64)
+        yield gk, flats
+
+
+def rewrite_ops(
+    ops: list[ComputeOp],
+    shapes: dict[str, tuple[int, int]],
+    capacity: int,
+) -> Schedule:
+    """Dress an op sequence up as an explicit schedule (see module docstring)."""
+    per_op = [_op_keys(op) for op in ops]
+
+    # Op-granularity next-use oracle: positions[key] lists the ops touching
+    # the element; pointers advance monotonically as the stream is emitted.
+    positions: dict[tuple[str, int], list[int]] = {}
+    for p, (touched, _writes) in enumerate(per_op):
+        for key in touched:
+            positions.setdefault(key, []).append(p)
+    pointer: dict[tuple[str, int], int] = {key: 0 for key in positions}
+
+    def next_use(key: tuple[str, int], p: int) -> int:
+        pos_list = positions[key]
+        i = pointer[key]
+        while i < len(pos_list) and pos_list[i] <= p:
+            i += 1
+        pointer[key] = i
+        return pos_list[i] if i < len(pos_list) else NEVER
+
+    steps: list[Step] = []
+    resident: dict[tuple[str, int], bool] = {}  # key -> dirty
+
+    for p, (op, (touched, writes)) in enumerate(zip(ops, per_op)):
+        if len(touched) > capacity:
+            raise ScheduleError(
+                f"op {p} ({op.name!r}) touches {len(touched)} elements; "
+                f"cannot fit capacity {capacity}"
+            )
+        touched_set = set(touched)
+        missing = [key for key in touched if key not in resident]
+        overflow = len(resident) + len(missing) - capacity
+        if overflow > 0:
+            candidates = [key for key in resident if key not in touched_set]
+            candidates.sort(key=lambda key: (-next_use(key, p), key))
+            victims = candidates[:overflow]
+            for (matrix, dirty), flats in _grouped_regions(
+                victims, dirty_of=resident
+            ):
+                steps.append(EvictStep(Region(matrix, flats), writeback=dirty))
+            for key in victims:
+                del resident[key]
+        for matrix, flats in _grouped_regions(missing):
+            steps.append(LoadStep(Region(matrix, flats)))
+        for key in missing:
+            resident[key] = False
+        steps.append(ComputeStep(op))
+        for key in writes:
+            resident[key] = True
+
+    for (matrix, dirty), flats in _grouped_regions(list(resident), dirty_of=resident):
+        steps.append(EvictStep(Region(matrix, flats), writeback=dirty))
+    return Schedule(steps=steps, shapes=dict(shapes))
+
+
+def rewrite_schedule(
+    schedule: Schedule,
+    capacity: int,
+    order: list[int] | None = None,
+    *,
+    graph: DependencyGraph | None = None,
+    relax_reductions: bool = False,
+) -> RewriteResult:
+    """Rewrite ``schedule``'s compute ops (optionally re-ordered) into an
+    explicit stream, and validate it against the model's rules."""
+    ops = [s.op for s in schedule.steps if isinstance(s, ComputeStep)]
+    if order is None:
+        order = list(range(len(ops)))
+    if sorted(order) != list(range(len(ops))):
+        raise ScheduleError(
+            f"order must be a permutation of 0..{len(ops) - 1} ({len(order)} entries given)"
+        )
+    if graph is not None and not graph.is_valid_order(order, relax_reductions=relax_reductions):
+        raise ScheduleError("order violates the dependency graph")
+    reordered = [ops[i] for i in order]
+    new = rewrite_ops(reordered, schedule.shapes, capacity)
+    summary = validate_schedule(new, capacity)
+    loads, stores = new.io_volume()
+    return RewriteResult(
+        schedule=new,
+        order=list(order),
+        heuristic="explicit",
+        loads=loads,
+        stores=stores,
+        summary=summary,
+    )
+
+
+def reschedule(
+    schedule: Schedule,
+    capacity: int,
+    heuristic: str = "locality",
+    *,
+    relax_reductions: bool = False,
+    graph: DependencyGraph | None = None,
+) -> RewriteResult:
+    """End-to-end: extract the DAG, list-schedule it, rewrite, validate."""
+    if graph is None:
+        graph = dependency_graph(schedule)
+    listed: ListScheduleResult = list_schedule(
+        graph, heuristic, relax_reductions=relax_reductions
+    )
+    result = rewrite_schedule(
+        schedule, capacity, listed.order, graph=graph, relax_reductions=relax_reductions
+    )
+    result.heuristic = heuristic
+    return result

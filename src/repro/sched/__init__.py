@@ -24,7 +24,15 @@ from .ops import (
     cholesky_mults,
     cholesky_flops,
 )
-from .schedule import Schedule, LoadStep, EvictStep, ComputeStep, record_schedule, replay_schedule
+from .schedule import (
+    Schedule,
+    LoadStep,
+    EvictStep,
+    ComputeStep,
+    access_sequence,
+    record_schedule,
+    replay_schedule,
+)
 from .validate import validate_schedule, schedule_footprint
 
 __all__ = [
@@ -45,6 +53,7 @@ __all__ = [
     "LoadStep",
     "EvictStep",
     "ComputeStep",
+    "access_sequence",
     "record_schedule",
     "replay_schedule",
     "validate_schedule",

@@ -100,6 +100,39 @@ def record_schedule(machine: TwoLevelMachine, body: Callable[[], None]) -> Sched
     return schedule
 
 
+def access_sequence(ops: "list[ComputeOp] | Schedule") -> list[tuple[tuple[str, int], bool]]:
+    """Element-granular ``((matrix, flat), is_write)`` touches of an op stream.
+
+    The canonical traversal both cache replayers (LRU in
+    :mod:`repro.analysis.lru_replay`, Belady/MIN in
+    :mod:`repro.graph.policies`) walk, so their load counts are directly
+    comparable.  Each op touches its read regions element by element
+    (flagged as writes where the element is also written), then any written
+    elements not covered by a read region.  In this library written regions
+    are subsets of reads, so the second group is empty — kept for
+    generality.
+    """
+    if isinstance(ops, Schedule):
+        ops = [s.op for s in ops.steps if isinstance(s, ComputeStep)]
+    seq: list[tuple[tuple[str, int], bool]] = []
+    for op in ops:
+        write_keys = {
+            (region.matrix, int(i)) for region in op.writes() for i in region.flat
+        }
+        read_keys: set[tuple[str, int]] = set()
+        for region in op.reads():
+            for i in region.flat:
+                key = (region.matrix, int(i))
+                read_keys.add(key)
+                seq.append((key, key in write_keys))
+        for region in op.writes():
+            for i in region.flat:
+                key = (region.matrix, int(i))
+                if key not in read_keys:
+                    seq.append((key, True))
+    return seq
+
+
 def replay_schedule(schedule: Schedule, machine: TwoLevelMachine) -> None:
     """Feed a recorded schedule to another machine (shapes must match).
 

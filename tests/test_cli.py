@@ -37,6 +37,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "0.7071" in out and "0.2357" in out
 
+    def test_replay(self, capsys):
+        assert main(["replay", "--s", "15", "--n", "26", "--m", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "LRU replay" in out and "TBS" in out and "OCS" in out
+        assert "explicit Q" in out
+
+    def test_graph(self, capsys):
+        assert main(["graph", "--kernel", "tbs", "--n", "26", "--m", "3", "--s", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "dependency graph" in out
+        assert "belady" in out and "reschedule:locality" in out
+        assert "reduction classes" in out
+
+    def test_graph_chol_subset_no_numerics(self, capsys):
+        assert main(
+            ["graph", "--kernel", "chol", "--n", "16", "--m", "0", "--s", "15",
+             "--heuristics", "original", "--no-numerics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RAW" in out and "reschedule:original" in out
+        assert "reschedule:fan-out" not in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

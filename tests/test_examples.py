@@ -42,6 +42,11 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "TB-SYR2K" in out and "sqrt(2)" in out
 
+    def test_dag_rescheduling(self, capsys):
+        load_example("dag_rescheduling").main()
+        out = capsys.readouterr().out
+        assert "reduction" in out and "Belady floor" in out and "bit-identical" in out
+
     @pytest.mark.slow
     def test_gram_matrix(self, capsys):
         load_example("gram_matrix_out_of_core").main()
