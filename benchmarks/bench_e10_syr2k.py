@@ -22,7 +22,7 @@ from repro.core.syr2k import (
     syr2k_triangle_side_for_memory,
 )
 from repro.utils.fmt import Table, format_int
-from .conftest import counting_machine
+from conftest import counting_machine
 
 S = 14  # k = 4, t = 2
 M_COLS = 8

@@ -21,7 +21,7 @@ import pytest
 from repro.analysis.model import lbc_term_model
 from repro.core.lbc import lbc_term_breakdown
 from repro.utils.fmt import Table, format_int
-from .conftest import counting_machine
+from conftest import counting_machine
 
 S = 15
 N_MODEL = 4096

@@ -26,6 +26,24 @@ def counting_machine(s: int, shapes: dict[str, tuple[int, int]]) -> TwoLevelMach
     return m
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="shrink problem sizes in benches that consume the `smoke` "
+        "fixture (currently E13, whose full sizes take ~45s; E1-E12 are "
+        "already CI-sized). Shape claims stay asserted; E13's absolute-"
+        "speedup claims are skipped",
+    )
+
+
+@pytest.fixture
+def smoke(request):
+    """True when the suite runs with --smoke (CI-sized problems)."""
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture
 def once(benchmark):
     """Run a callable exactly once under pytest-benchmark."""

@@ -18,6 +18,9 @@ The package provides:
 * :mod:`repro.graph` — the dependency-graph scheduling engine: task-DAG
   extraction from recorded schedules, worklist re-scheduling under
   pluggable heuristics, Belady/MIN replay, and load/evict regeneration;
+* :mod:`repro.trace` — the compiled trace IR: element access streams as
+  dense numpy arrays, array-based LRU/Belady replays, and the compact
+  on-disk format for traces and schedules;
 * :mod:`repro.viz` — ASCII renderers for the paper's Figures 1–3.
 
 Quickstart::
@@ -99,6 +102,14 @@ from .graph import (
     reschedule,
     rewrite_schedule,
 )
+from .trace import (
+    CompiledTrace,
+    compile_trace,
+    load_schedule,
+    load_trace,
+    save_schedule,
+    save_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -153,5 +164,11 @@ __all__ = [
     "list_schedule",
     "reschedule",
     "rewrite_schedule",
+    "CompiledTrace",
+    "compile_trace",
+    "load_schedule",
+    "load_trace",
+    "save_schedule",
+    "save_trace",
     "__version__",
 ]

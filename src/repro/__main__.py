@@ -12,6 +12,9 @@ Commands
 ``graph``     extract the dependency DAG of a recorded schedule, re-schedule
               it under the worklist heuristics, and compare I/O volumes
               (explicit vs LRU vs Belady vs rescheduled vs lower bound)
+``trace``     compile a recorded schedule to the array trace IR, save/load
+              it as ``.npz``, and run the vectorized LRU/Belady replays
+              (``trace compile`` / ``trace replay`` / ``trace info``)
 
 Examples
 --------
@@ -24,6 +27,9 @@ Examples
     python -m repro constants
     python -m repro replay --s 15 --n 40 --m 6
     python -m repro graph --kernel tbs --n 40 --m 6 --s 15
+    python -m repro trace compile --kernel tbs --n 120 --m 6 --s 15 -o tbs.npz
+    python -m repro trace replay tbs.npz --capacity 15 30 --policy both
+    python -m repro trace info tbs.npz
 """
 
 from __future__ import annotations
@@ -169,6 +175,99 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.lru_replay import lru_replay_reference
+    from .graph.compare import record_case
+    from .graph.policies import belady_replay_reference
+    from .trace import (
+        compile_trace,
+        file_kind,
+        load_schedule,
+        load_trace,
+        save_schedule,
+        save_trace,
+    )
+    from .trace.replay import belady_replay_trace, lru_replay_trace
+
+    def describe(trace, origin: str) -> None:
+        shapes = ", ".join(f"{n}{list(s)}" for n, s in trace.shapes.items())
+        print(
+            f"{origin}: {trace.n_ops} ops, {trace.n_accesses} element touches, "
+            f"{trace.n_elements} distinct elements; matrices: {shapes}"
+        )
+
+    if args.trace_command == "compile":
+        case = record_case(args.kernel, args.n, args.m, args.s)
+        trace = case.trace
+        describe(trace, f"{args.kernel} n={args.n} m={args.m} S={args.s}")
+        save_trace(trace, args.out)
+        import os
+
+        print(f"trace written to {args.out} ({os.path.getsize(args.out):,} bytes)")
+        if args.schedule_out:
+            save_schedule(case.schedule, args.schedule_out)
+            print(
+                f"full schedule written to {args.schedule_out} "
+                f"({os.path.getsize(args.schedule_out):,} bytes)"
+            )
+        return 0
+
+    if args.trace_command == "info":
+        kind = file_kind(args.path)
+        if kind == "schedule":
+            schedule = load_schedule(args.path)
+            counts = schedule.counts()
+            loads, stores = schedule.io_volume()
+            print(
+                f"schedule container: {counts['load']} loads, {counts['evict']} "
+                f"evicts, {counts['compute']} computes; I/O {loads} loads / "
+                f"{stores} stores (elements)"
+            )
+            describe(compile_trace(schedule), "compiled")
+        else:
+            describe(load_trace(args.path), "trace container")
+        return 0
+
+    # replay
+    kind = file_kind(args.path)
+    if kind == "schedule":
+        trace = compile_trace(load_schedule(args.path))
+    else:
+        trace = load_trace(args.path)
+    describe(trace, args.path)
+    policies = ("lru", "belady") if args.policy == "both" else (args.policy,)
+    t = Table(["capacity", "policy", "Q (loads)", "stores", "miss rate", "sec"])
+    for capacity in args.capacity:
+        for policy in policies:
+            fast = lru_replay_trace if policy == "lru" else belady_replay_trace
+            t0 = time.perf_counter()
+            r = fast(trace, capacity)
+            dt = time.perf_counter() - t0
+            t.add_row(
+                [capacity, policy, format_int(r.loads), format_int(r.stores),
+                 f"{r.miss_rate:.4f}", f"{dt:.3f}"]
+            )
+            if args.check:
+                ref_fn = (
+                    lru_replay_reference if policy == "lru" else belady_replay_reference
+                )
+                ref = ref_fn(trace, capacity)
+                ok = (ref.loads, ref.stores) == (r.loads, r.stores)
+                if not ok:
+                    print(
+                        f"MISMATCH at capacity {capacity} ({policy}): "
+                        f"vectorized {r.loads}/{r.stores} vs reference "
+                        f"{ref.loads}/{ref.stores}"
+                    )
+                    return 1
+    print(t.render())
+    if args.check:
+        print("reference cross-check: all counts identical")
+    return 0
+
+
 def _cmd_constants(_args: argparse.Namespace) -> int:
     print(banner("the paper's four contributions"))
     t = Table(["kernel", "quantity", "before", "after", "paper source"])
@@ -214,6 +313,25 @@ def main(argv: list[str] | None = None) -> int:
     p_graph.add_argument("--no-numerics", action="store_true",
                          help="skip the bit-exact replay check (faster)")
 
+    p_trace = sub.add_parser("trace", help="compiled trace IR: compile/replay/info")
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tc = tsub.add_parser("compile", help="record a kernel and save its trace")
+    p_tc.add_argument("--kernel", choices=sorted(CASES), default="tbs")
+    p_tc.add_argument("--n", type=int, default=40)
+    p_tc.add_argument("--m", type=int, default=6)
+    p_tc.add_argument("--s", type=int, default=15)
+    p_tc.add_argument("-o", "--out", required=True, help="output .npz path")
+    p_tc.add_argument("--schedule-out", default=None,
+                      help="also save the full schedule (reconstructible ops)")
+    p_tr = tsub.add_parser("replay", help="array-based LRU/Belady replay of a saved trace")
+    p_tr.add_argument("path", help="trace or schedule .npz")
+    p_tr.add_argument("--capacity", type=int, nargs="+", required=True)
+    p_tr.add_argument("--policy", choices=["lru", "belady", "both"], default="both")
+    p_tr.add_argument("--check", action="store_true",
+                      help="cross-check against the reference walkers")
+    p_ti = tsub.add_parser("info", help="summarize a saved trace/schedule")
+    p_ti.add_argument("path")
+
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
@@ -222,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         "constants": _cmd_constants,
         "replay": _cmd_replay,
         "graph": _cmd_graph,
+        "trace": _cmd_trace,
     }[args.command](args)
 
 

@@ -28,8 +28,20 @@ from .dependency import (
     dependency_graph,
     is_commuting_accumulation,
 )
-from .policies import BeladyReplayResult, access_sequence, belady_replay, replacement_gap
-from .rewriter import RewriteResult, reschedule, rewrite_ops, rewrite_schedule
+from .policies import (
+    BeladyReplayResult,
+    access_sequence,
+    belady_replay,
+    belady_replay_reference,
+    replacement_gap,
+)
+from .rewriter import (
+    RewriteResult,
+    reschedule,
+    rewrite_ops,
+    rewrite_schedule,
+    rewrite_trace,
+)
 from .scheduler import HEURISTICS, ListScheduleResult, list_schedule
 from .compare import (
     CASES,
@@ -49,11 +61,13 @@ __all__ = [
     "BeladyReplayResult",
     "access_sequence",
     "belady_replay",
+    "belady_replay_reference",
     "replacement_gap",
     "RewriteResult",
     "reschedule",
     "rewrite_ops",
     "rewrite_schedule",
+    "rewrite_trace",
     "HEURISTICS",
     "ListScheduleResult",
     "list_schedule",

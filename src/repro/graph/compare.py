@@ -27,8 +27,9 @@ from ..core.tbs import tbs_syrk
 from ..errors import ConfigurationError
 from ..machine.machine import TwoLevelMachine
 from ..sched.schedule import Schedule, record_schedule, replay_schedule
+from ..trace.compiled import CompiledTrace, compile_trace
 from ..utils.rng import random_spd_matrix, random_tall_matrix
-from .dependency import DependencyGraph, dependency_graph
+from .dependency import DependencyGraph
 from .policies import belady_replay
 from .rewriter import RewriteResult, reschedule
 from .scheduler import HEURISTICS
@@ -55,6 +56,14 @@ class RecordedCase:
     make_machine: Callable[[], TwoLevelMachine]
     result_names: list[str]
     reference: dict[str, np.ndarray]
+    _trace: CompiledTrace | None = None
+
+    @property
+    def trace(self) -> CompiledTrace:
+        """The schedule's compiled trace IR (compiled once, lazily)."""
+        if self._trace is None:
+            self._trace = compile_trace(self.schedule)
+        return self._trace
 
     def check_exact(self, rewritten: Schedule) -> bool:
         """Replay ``rewritten`` on a fresh machine; results bit-identical?"""
@@ -162,18 +171,24 @@ def compare_case(
     *,
     check_numerics: bool = True,
 ) -> Comparison:
-    """Explicit vs LRU vs Belady vs rescheduled volumes for one case."""
-    graph = dependency_graph(case.schedule)
+    """Explicit vs LRU vs Belady vs rescheduled volumes for one case.
+
+    The schedule is compiled to the trace IR exactly once; the DAG
+    extraction, both replays and every rewrite consume the same
+    :class:`~repro.trace.compiled.CompiledTrace`.
+    """
+    trace = case.trace
+    graph = DependencyGraph.from_trace(trace)
     comp = Comparison(case=case, graph=graph)
     comp.rows.append(
         ComparisonRow("explicit", case.explicit_loads, case.explicit_stores, valid=True, exact=True)
     )
-    lru = lru_replay(case.schedule, case.capacity)
+    lru = lru_replay(trace, case.capacity)
     comp.rows.append(ComparisonRow("lru", lru.loads, lru.stores))
-    opt = belady_replay(case.schedule, case.capacity)
+    opt = belady_replay(trace, case.capacity)
     comp.rows.append(ComparisonRow("belady", opt.loads, opt.stores))
     for heuristic in heuristics:
-        rewrite = reschedule(case.schedule, case.capacity, heuristic, graph=graph)
+        rewrite = reschedule(trace, case.capacity, heuristic, graph=graph)
         exact = case.check_exact(rewrite.schedule) if check_numerics else None
         comp.rewrites[heuristic] = rewrite
         comp.rows.append(

@@ -6,6 +6,11 @@ et al.'s parallel-optimality work) is that I/O volume is a property of the
 *order*, and many orders are legal.  :class:`DependencyGraph` extracts the
 partial order actually imposed by the data: element-granular RAW / WAR /
 WAW dependences derived from :class:`~repro.machine.regions.Region` overlap.
+Extraction runs over the compiled trace IR
+(:class:`~repro.trace.compiled.CompiledTrace`): per-element last-writer /
+reader state is tracked by interned integer element IDs, not per-key
+``(matrix, flat)`` tuples, and each node's access sets come from one
+vectorized slice of the trace.
 
 Commuting accumulations get special treatment.  Every ``+=`` update op in
 this library (:class:`~repro.sched.ops.OuterColsUpdate`,
@@ -34,6 +39,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..sched.ops import (
     ComputeOp,
@@ -42,7 +49,8 @@ from ..sched.ops import (
     TriangleCrossUpdate,
     TriangleUpdate,
 )
-from ..sched.schedule import ComputeStep, Schedule
+from ..sched.schedule import Schedule
+from ..trace.compiled import CompiledTrace, compile_trace
 
 #: Op types whose writes are pure ``+=`` accumulations of contributions that
 #: do not depend on the accumulator's current value.  Any two of these
@@ -62,40 +70,41 @@ def is_commuting_accumulation(op: ComputeOp) -> bool:
 
 @dataclass
 class OpNode:
-    """One compute op of the stream, with its element-granular access sets."""
+    """One compute op of the stream, with its element-granular access sets.
+
+    Element sets are *interned element IDs* of the compiled trace the graph
+    was built from (:attr:`DependencyGraph.trace`) — dense ints, not
+    ``(matrix, flat)`` tuples.  Decode one with
+    :meth:`~repro.trace.compiled.CompiledTrace.key_of` when a human-readable
+    key is needed.
+    """
 
     index: int
     op: ComputeOp
-    #: (matrix, flat-index) keys the op truly reads as *input*.  For a
-    #: commuting accumulation the accumulated output region is excluded
-    #: (its read of the running sum is what the reduction edges model);
-    #: for every other op reads are taken verbatim.
-    input_keys: frozenset[tuple[str, int]] = field(repr=False, default=frozenset())
-    #: (matrix, flat-index) keys the op writes.
-    write_keys: frozenset[tuple[str, int]] = field(repr=False, default=frozenset())
+    #: element IDs the op truly reads as *input*.  For a commuting
+    #: accumulation the accumulated output region is excluded (its read of
+    #: the running sum is what the reduction edges model); for every other
+    #: op reads are taken verbatim.
+    input_keys: frozenset[int] = field(repr=False, default=frozenset())
+    #: element IDs the op writes.
+    write_keys: frozenset[int] = field(repr=False, default=frozenset())
 
     @property
     def is_accumulation(self) -> bool:
         return is_commuting_accumulation(self.op)
 
-    def touched_keys(self) -> frozenset[tuple[str, int]]:
+    def touched_keys(self) -> frozenset[int]:
         """All elements the op touches (inputs plus outputs)."""
         return self.input_keys | self.write_keys
-
-
-def _region_keys(regions) -> set[tuple[str, int]]:
-    keys: set[tuple[str, int]] = set()
-    for region in regions:
-        name = region.matrix
-        keys.update((name, int(i)) for i in region.flat)
-    return keys
 
 
 class DependencyGraph:
     """The data-dependence partial order of a schedule's compute ops."""
 
-    def __init__(self, nodes: list[OpNode]):
+    def __init__(self, nodes: list[OpNode], trace: CompiledTrace | None = None):
         self.nodes = nodes
+        #: the compiled trace the node element IDs refer to.
+        self.trace = trace
         # succs[u] / preds[v]: neighbor -> set of edge kinds.
         self.succs: list[dict[int, set[str]]] = [dict() for _ in nodes]
         self.preds: list[dict[int, set[str]]] = [dict() for _ in nodes]
@@ -111,16 +120,44 @@ class DependencyGraph:
         memory-management strategy, and the whole point of the graph layer
         is to re-derive them (see :mod:`repro.graph.rewriter`).
         """
-        ops = [s.op for s in schedule.steps if isinstance(s, ComputeStep)]
-        nodes: list[OpNode] = []
-        for i, op in enumerate(ops):
-            writes = _region_keys(op.writes())
-            reads = _region_keys(op.reads())
-            inputs = reads - writes if is_commuting_accumulation(op) else reads
-            nodes.append(
-                OpNode(index=i, op=op, input_keys=frozenset(inputs), write_keys=frozenset(writes))
+        return cls.from_trace(compile_trace(schedule))
+
+    @classmethod
+    def from_trace(cls, trace: CompiledTrace) -> "DependencyGraph":
+        """Extract the dependence DAG from a compiled trace.
+
+        The trace must still carry its op objects (``trace.ops``): replays
+        only need the arrays, but dependence analysis needs the op types to
+        classify commuting accumulations, and downstream rescheduling needs
+        the ops themselves.
+        """
+        if trace.ops is None:
+            raise ConfigurationError(
+                "trace has no op objects (loaded from disk?); dependence "
+                "extraction needs a trace compiled in-process from a "
+                "Schedule or op list"
             )
-        graph = cls(nodes)
+        nodes: list[OpNode] = []
+        ids, flags = trace.elem_ids, trace.is_write
+        starts, read_ends = trace.op_starts, trace.op_read_ends
+        for i, op in enumerate(trace.ops):
+            s, e = int(starts[i]), int(starts[i + 1])
+            sl = ids[s:e]
+            writes = np.unique(sl[flags[s:e]])
+            reads = np.unique(ids[s : int(read_ends[i])])
+            if is_commuting_accumulation(op):
+                inputs = np.setdiff1d(reads, writes, assume_unique=True)
+            else:
+                inputs = reads
+            nodes.append(
+                OpNode(
+                    index=i,
+                    op=op,
+                    input_keys=frozenset(inputs.tolist()),
+                    write_keys=frozenset(writes.tolist()),
+                )
+            )
+        graph = cls(nodes, trace=trace)
         graph._build_edges()
         return graph
 
@@ -131,12 +168,13 @@ class DependencyGraph:
         self.preds[v].setdefault(u, set()).add(kind)
 
     def _build_edges(self) -> None:
-        # Per-element dependence state, cleared by sequential (non-commuting)
-        # writes: the last sequential writer, the commuting accumulators
-        # since, and the input-readers since the last write of any kind.
-        last_seq: dict[tuple[str, int], int] = {}
-        accs: dict[tuple[str, int], list[int]] = {}
-        readers: dict[tuple[str, int], list[int]] = {}
+        # Per-element dependence state (keyed by interned element ID),
+        # cleared by sequential (non-commuting) writes: the last sequential
+        # writer, the commuting accumulators since, and the input-readers
+        # since the last write of any kind.
+        last_seq: dict[int, int] = {}
+        accs: dict[int, list[int]] = {}
+        readers: dict[int, list[int]] = {}
 
         for node in self.nodes:
             v = node.index
@@ -265,8 +303,10 @@ class DependencyGraph:
         return list_schedule(self, heuristic="original", relax_reductions=relax_reductions).order
 
 
-def dependency_graph(schedule: Schedule) -> DependencyGraph:
-    """Convenience: :meth:`DependencyGraph.from_schedule`."""
+def dependency_graph(schedule: Schedule | CompiledTrace) -> DependencyGraph:
+    """Convenience: :meth:`DependencyGraph.from_schedule` / ``from_trace``."""
+    if isinstance(schedule, CompiledTrace):
+        return DependencyGraph.from_trace(schedule)
     if not isinstance(schedule, Schedule):
         raise ConfigurationError(f"expected a Schedule, got {type(schedule).__name__}")
     return DependencyGraph.from_schedule(schedule)

@@ -18,6 +18,14 @@ for a fixed order:
   op wrote it since it was (re)loaded; everything still resident at the end
   is flushed, so the stream satisfies the validator's empty-end rule.
 
+The rewrite core runs on the compiled trace IR
+(:class:`~repro.trace.compiled.CompiledTrace`): per-op touched/write sets
+are vectorized slices over interned element IDs, residency and dirtiness
+are flat bool arrays, and the op-granularity next-use oracle is a CSR walk
+over one argsort of the access stream — no per-element tuples or dicts.
+Reordering reuses the interning (:meth:`CompiledTrace.reorder`), so sweeps
+over many orders of one recorded trace stay cheap.
+
 :func:`reschedule` is the end-to-end pipeline: dependency graph → list
 scheduler → rewrite → :func:`~repro.sched.validate.validate_schedule`.
 """
@@ -33,6 +41,7 @@ from ..machine.regions import Region
 from ..sched.ops import ComputeOp
 from ..sched.schedule import ComputeStep, EvictStep, LoadStep, Schedule, Step
 from ..sched.validate import validate_schedule
+from ..trace.compiled import CompiledTrace, compile_trace
 from .dependency import DependencyGraph, dependency_graph
 from .policies import NEVER
 from .scheduler import ListScheduleResult, list_schedule
@@ -54,30 +63,119 @@ class RewriteResult:
         return self.loads + self.stores
 
 
-def _op_keys(op: ComputeOp) -> tuple[list[tuple[str, int]], set[tuple[str, int]]]:
-    """(deduped touched keys in region order, write-key set) for one op."""
-    writes = {(r.matrix, int(i)) for r in op.writes() for i in r.flat}
-    touched: list[tuple[str, int]] = []
-    seen: set[tuple[str, int]] = set()
-    for region in list(op.reads()) + list(op.writes()):
-        for i in region.flat:
-            key = (region.matrix, int(i))
-            if key not in seen:
-                seen.add(key)
-                touched.append(key)
-    return touched, writes
+class _OpNextUse:
+    """Op-granularity next-use oracle over a compiled trace (CSR + pointers).
+
+    ``positions`` holds, for every element, the sorted op indices touching
+    it (one argsort of the access stream, duplicates kept — the pointer
+    walk skips them).  Pointers only ever advance, as in the original
+    dict-of-lists implementation, because queries come with monotonically
+    increasing op positions.
+    """
+
+    def __init__(self, trace: CompiledTrace):
+        acc_ops = np.repeat(
+            np.arange(trace.n_ops, dtype=np.int64), np.diff(trace.op_starts)
+        )
+        order = np.argsort(trace.elem_ids, kind="stable")
+        self.ops_sorted = acc_ops[order]
+        counts = np.bincount(trace.elem_ids, minlength=trace.n_elements)
+        self.starts = np.zeros(trace.n_elements + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.starts[1:])
+        self.ptr = self.starts[:-1].copy()
+
+    def next_use(self, elem: int, p: int) -> int:
+        """First op position > ``p`` touching ``elem``, else ``NEVER``."""
+        i = int(self.ptr[elem])
+        end = int(self.starts[elem + 1])
+        ops_sorted = self.ops_sorted
+        while i < end and ops_sorted[i] <= p:
+            i += 1
+        self.ptr[elem] = i
+        return int(ops_sorted[i]) if i < end else NEVER
 
 
-def _grouped_regions(keys, dirty_of=None):
-    """Group element keys into one region per matrix (and dirty flag if given)."""
-    groups: dict = {}
-    for key in keys:
-        matrix, flat = key
-        gk = matrix if dirty_of is None else (matrix, dirty_of[key])
-        groups.setdefault(gk, []).append(flat)
-    for gk in sorted(groups, key=str):
-        flats = np.array(sorted(groups[gk]), dtype=np.int64)
-        yield gk, flats
+def _emit_regions(
+    steps: list[Step],
+    elems: list[int],
+    trace: CompiledTrace,
+    dirty: np.ndarray | None,
+) -> None:
+    """Append one Load/Evict step per (matrix[, dirty]) group of ``elems``."""
+    if not elems:
+        return
+    arr = np.asarray(elems, dtype=np.int64)
+    mats = trace.key_matrix[arr]
+    flags = (
+        dirty[arr].astype(np.int8) if dirty is not None else np.zeros(arr.size, np.int8)
+    )
+    for mi in np.unique(mats):
+        name = trace.matrices[int(mi)]
+        for wb in (0, 1):
+            group = arr[(mats == mi) & (flags == wb)]
+            if not group.size:
+                continue
+            region = Region(name, np.sort(trace.key_flat[group]))
+            if dirty is None:
+                steps.append(LoadStep(region))
+            else:
+                steps.append(EvictStep(region, writeback=bool(wb)))
+
+
+def rewrite_trace(trace: CompiledTrace, capacity: int) -> Schedule:
+    """Dress a compiled trace up as an explicit schedule (module docstring).
+
+    The trace must carry its op objects (compiled in-process).
+    """
+    if trace.ops is None:
+        raise ScheduleError("cannot rewrite a trace without op objects")
+    ops = trace.ops
+    ids, flags = trace.elem_ids, trace.is_write
+    starts = trace.op_starts
+    oracle = _OpNextUse(trace)
+
+    resident = np.zeros(trace.n_elements, dtype=bool)
+    resident_set: set[int] = set()  # same contents; O(capacity) iteration
+    dirty = np.zeros(trace.n_elements, dtype=bool)
+    touched_mask = np.zeros(trace.n_elements, dtype=bool)
+    steps: list[Step] = []
+
+    for p, op in enumerate(ops):
+        s, e = int(starts[p]), int(starts[p + 1])
+        sl = ids[s:e]
+        # Touched elements in first-occurrence (region) order, as the
+        # original tuple walker produced them.
+        _u, first_idx = np.unique(sl, return_index=True)
+        touched = sl[np.sort(first_idx)]
+        writes = np.unique(sl[flags[s:e]])
+        if touched.size > capacity:
+            raise ScheduleError(
+                f"op {p} ({op.name!r}) touches {touched.size} elements; "
+                f"cannot fit capacity {capacity}"
+            )
+        missing = touched[~resident[touched]]
+        overflow = len(resident_set) + int(missing.size) - capacity
+        if overflow > 0:
+            touched_mask[touched] = True
+            candidates = [elem for elem in resident_set if not touched_mask[elem]]
+            touched_mask[touched] = False
+            candidates.sort(key=lambda elem: (-oracle.next_use(elem, p), elem))
+            victims = candidates[:overflow]
+            _emit_regions(steps, victims, trace, dirty)
+            varr = np.asarray(victims, dtype=np.int64)
+            resident[varr] = False
+            dirty[varr] = False
+            resident_set.difference_update(victims)
+        if missing.size:
+            _emit_regions(steps, missing.tolist(), trace, None)
+            resident[missing] = True
+            resident_set.update(missing.tolist())
+        steps.append(ComputeStep(op))
+        dirty[writes] = True
+
+    leftovers = np.flatnonzero(resident).tolist()
+    _emit_regions(steps, leftovers, trace, dirty)
+    return Schedule(steps=steps, shapes=dict(trace.shapes))
 
 
 def rewrite_ops(
@@ -85,62 +183,13 @@ def rewrite_ops(
     shapes: dict[str, tuple[int, int]],
     capacity: int,
 ) -> Schedule:
-    """Dress an op sequence up as an explicit schedule (see module docstring)."""
-    per_op = [_op_keys(op) for op in ops]
-
-    # Op-granularity next-use oracle: positions[key] lists the ops touching
-    # the element; pointers advance monotonically as the stream is emitted.
-    positions: dict[tuple[str, int], list[int]] = {}
-    for p, (touched, _writes) in enumerate(per_op):
-        for key in touched:
-            positions.setdefault(key, []).append(p)
-    pointer: dict[tuple[str, int], int] = {key: 0 for key in positions}
-
-    def next_use(key: tuple[str, int], p: int) -> int:
-        pos_list = positions[key]
-        i = pointer[key]
-        while i < len(pos_list) and pos_list[i] <= p:
-            i += 1
-        pointer[key] = i
-        return pos_list[i] if i < len(pos_list) else NEVER
-
-    steps: list[Step] = []
-    resident: dict[tuple[str, int], bool] = {}  # key -> dirty
-
-    for p, (op, (touched, writes)) in enumerate(zip(ops, per_op)):
-        if len(touched) > capacity:
-            raise ScheduleError(
-                f"op {p} ({op.name!r}) touches {len(touched)} elements; "
-                f"cannot fit capacity {capacity}"
-            )
-        touched_set = set(touched)
-        missing = [key for key in touched if key not in resident]
-        overflow = len(resident) + len(missing) - capacity
-        if overflow > 0:
-            candidates = [key for key in resident if key not in touched_set]
-            candidates.sort(key=lambda key: (-next_use(key, p), key))
-            victims = candidates[:overflow]
-            for (matrix, dirty), flats in _grouped_regions(
-                victims, dirty_of=resident
-            ):
-                steps.append(EvictStep(Region(matrix, flats), writeback=dirty))
-            for key in victims:
-                del resident[key]
-        for matrix, flats in _grouped_regions(missing):
-            steps.append(LoadStep(Region(matrix, flats)))
-        for key in missing:
-            resident[key] = False
-        steps.append(ComputeStep(op))
-        for key in writes:
-            resident[key] = True
-
-    for (matrix, dirty), flats in _grouped_regions(list(resident), dirty_of=resident):
-        steps.append(EvictStep(Region(matrix, flats), writeback=dirty))
-    return Schedule(steps=steps, shapes=dict(shapes))
+    """Compatibility wrapper: compile ``ops`` and :func:`rewrite_trace`."""
+    trace = compile_trace(ops, shapes=dict(shapes))
+    return rewrite_trace(trace, capacity)
 
 
 def rewrite_schedule(
-    schedule: Schedule,
+    schedule: Schedule | CompiledTrace,
     capacity: int,
     order: list[int] | None = None,
     *,
@@ -148,18 +197,24 @@ def rewrite_schedule(
     relax_reductions: bool = False,
 ) -> RewriteResult:
     """Rewrite ``schedule``'s compute ops (optionally re-ordered) into an
-    explicit stream, and validate it against the model's rules."""
-    ops = [s.op for s in schedule.steps if isinstance(s, ComputeStep)]
+    explicit stream, and validate it against the model's rules.
+
+    Accepts a recorded schedule or an already-compiled trace; a graph built
+    by :func:`~repro.graph.dependency.dependency_graph` carries its trace,
+    so the end-to-end pipeline compiles exactly once.
+    """
+    trace = compile_trace(schedule)
+    n_ops = trace.n_ops
     if order is None:
-        order = list(range(len(ops)))
-    if sorted(order) != list(range(len(ops))):
+        order = list(range(n_ops))
+    if sorted(order) != list(range(n_ops)):
         raise ScheduleError(
-            f"order must be a permutation of 0..{len(ops) - 1} ({len(order)} entries given)"
+            f"order must be a permutation of 0..{n_ops - 1} ({len(order)} entries given)"
         )
     if graph is not None and not graph.is_valid_order(order, relax_reductions=relax_reductions):
         raise ScheduleError("order violates the dependency graph")
-    reordered = [ops[i] for i in order]
-    new = rewrite_ops(reordered, schedule.shapes, capacity)
+    reordered = trace if order == list(range(n_ops)) else trace.reorder(order)
+    new = rewrite_trace(reordered, capacity)
     summary = validate_schedule(new, capacity)
     loads, stores = new.io_volume()
     return RewriteResult(
@@ -173,7 +228,7 @@ def rewrite_schedule(
 
 
 def reschedule(
-    schedule: Schedule,
+    schedule: Schedule | CompiledTrace,
     capacity: int,
     heuristic: str = "locality",
     *,
@@ -183,11 +238,12 @@ def reschedule(
     """End-to-end: extract the DAG, list-schedule it, rewrite, validate."""
     if graph is None:
         graph = dependency_graph(schedule)
+    trace = graph.trace if graph.trace is not None else compile_trace(schedule)
     listed: ListScheduleResult = list_schedule(
         graph, heuristic, relax_reductions=relax_reductions
     )
     result = rewrite_schedule(
-        schedule, capacity, listed.order, graph=graph, relax_reductions=relax_reductions
+        trace, capacity, listed.order, graph=graph, relax_reductions=relax_reductions
     )
     result.heuristic = heuristic
     return result

@@ -30,6 +30,7 @@ from .schedule import (
     EvictStep,
     ComputeStep,
     access_sequence,
+    access_sequence_reference,
     record_schedule,
     replay_schedule,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "EvictStep",
     "ComputeStep",
     "access_sequence",
+    "access_sequence_reference",
     "record_schedule",
     "replay_schedule",
     "validate_schedule",

@@ -46,6 +46,14 @@ class Schedule:
 
     steps: list[Step] = field(default_factory=list)
     shapes: dict[str, tuple[int, int]] = field(default_factory=dict)
+    # One-pass step statistics, keyed by len(steps).  Recording only ever
+    # appends, so a length match means the cache is current; any append
+    # (or truncation) invalidates it automatically.  In-place *replacement*
+    # of a step without a length change is not supported — steps are frozen
+    # dataclasses and nothing in the library rewrites them in place.
+    _stats_cache: "tuple[int, dict[str, int], tuple[int, int]] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -53,25 +61,32 @@ class Schedule:
     def __iter__(self):
         return iter(self.steps)
 
-    def counts(self) -> dict[str, int]:
-        """Step-type histogram (loads / evicts / computes)."""
-        out = {"load": 0, "evict": 0, "compute": 0}
+    def _stats(self) -> tuple[dict[str, int], tuple[int, int]]:
+        cache = self._stats_cache
+        if cache is not None and cache[0] == len(self.steps):
+            return cache[1], cache[2]
+        counts = {"load": 0, "evict": 0, "compute": 0}
+        loads = stores = 0
         for s in self.steps:
             if isinstance(s, LoadStep):
-                out["load"] += 1
+                counts["load"] += 1
+                loads += s.region.size
             elif isinstance(s, EvictStep):
-                out["evict"] += 1
+                counts["evict"] += 1
+                if s.writeback:
+                    stores += s.region.size
             else:
-                out["compute"] += 1
-        return out
+                counts["compute"] += 1
+        self._stats_cache = (len(self.steps), counts, (loads, stores))
+        return counts, (loads, stores)
+
+    def counts(self) -> dict[str, int]:
+        """Step-type histogram (loads / evicts / computes); cached."""
+        return dict(self._stats()[0])
 
     def io_volume(self) -> tuple[int, int]:
-        """(loads, stores) in elements, computed from the trace alone."""
-        loads = sum(s.region.size for s in self.steps if isinstance(s, LoadStep))
-        stores = sum(
-            s.region.size for s in self.steps if isinstance(s, EvictStep) and s.writeback
-        )
-        return loads, stores
+        """(loads, stores) in elements, computed from the trace alone; cached."""
+        return self._stats()[1]
 
 
 class _Recorder:
@@ -103,15 +118,29 @@ def record_schedule(machine: TwoLevelMachine, body: Callable[[], None]) -> Sched
 def access_sequence(ops: "list[ComputeOp] | Schedule") -> list[tuple[tuple[str, int], bool]]:
     """Element-granular ``((matrix, flat), is_write)`` touches of an op stream.
 
-    The canonical traversal both cache replayers (LRU in
-    :mod:`repro.analysis.lru_replay`, Belady/MIN in
-    :mod:`repro.graph.policies`) walk, so their load counts are directly
-    comparable.  Each op touches its read regions element by element
-    (flagged as writes where the element is also written), then any written
-    elements not covered by a read region.  In this library written regions
-    are subsets of reads, so the second group is empty — kept for
+    The canonical traversal all cache replayers walk, so their load counts
+    are directly comparable.  Each op touches its read regions element by
+    element (flagged as writes where the element is also written), then any
+    written elements not covered by a read region.  In this library written
+    regions are subsets of reads, so the second group is empty — kept for
     generality.
+
+    This is now a thin compatibility shim over the compiled trace IR
+    (:func:`repro.trace.compiled.compile_trace`): new consumers should
+    compile once and keep the arrays instead of materializing tuples.  The
+    original tuple-per-touch loop survives as
+    :func:`access_sequence_reference`, and the test suite asserts the two
+    are bit-identical.
     """
+    from ..trace.compiled import compile_trace  # local import: avoid cycle
+
+    return compile_trace(ops).to_access_sequence()
+
+
+def access_sequence_reference(
+    ops: "list[ComputeOp] | Schedule",
+) -> list[tuple[tuple[str, int], bool]]:
+    """The original pure-Python traversal (cross-check path for the IR)."""
     if isinstance(ops, Schedule):
         ops = [s.op for s in ops.steps if isinstance(s, ComputeStep)]
     seq: list[tuple[tuple[str, int], bool]] = []

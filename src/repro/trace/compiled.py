@@ -1,0 +1,312 @@
+"""The compiled trace IR: element access streams as dense numpy arrays.
+
+Every replay and graph analysis in this library walks the same
+element-granular access stream of a compute-op sequence.  The original
+representation (:func:`repro.sched.schedule.access_sequence`) materializes
+one Python ``((matrix, flat), is_write)`` tuple per element touch, which
+caps experiments at toy sizes.  :class:`CompiledTrace` is the array form of
+exactly the same stream:
+
+* ``(matrix, flat_index)`` keys are interned into dense int64 *element IDs*
+  (``0 .. n_elements-1``), with decode tables ``key_matrix`` / ``key_flat``;
+* the whole stream is three arrays — ``elem_ids``, ``is_write`` and the op
+  boundary offsets ``op_starts`` (CSR style, ``n_ops + 1`` entries);
+* ``op_read_ends[i]`` marks where op ``i``'s read-derived accesses end and
+  its write-only extras begin (empty for every op in this library, where
+  written regions are subsets of read regions — kept for generality, like
+  the reference traversal).
+
+The build is vectorized: each op contributes whole region ``.flat`` arrays
+(offset into a per-matrix global index space), membership tests are
+``searchsorted`` probes, and the final interning is one ``np.unique`` over
+the concatenated stream.  The access *order* is bit-compatible with
+:func:`~repro.sched.schedule.access_sequence_reference`: each op's read
+regions element by element (flagged as writes where the element is also
+written), then written elements not covered by any read region.
+
+``next_use()`` / ``prev_access()`` give the vectorized position links that
+the array-based replays (:mod:`repro.trace.replay`) and the Belady/MIN
+floor are built on; :mod:`repro.trace.io` serializes the arrays to a
+compact ``.npz`` container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sched.ops import ComputeOp
+from ..sched.schedule import ComputeStep, Schedule
+
+
+def _in_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in the sorted duplicate-free ``table``."""
+    if table.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    idx = np.searchsorted(table, values)
+    idx[idx == table.size] = table.size - 1
+    return table[idx] == values
+
+
+# eq=False: the array fields make a field-wise __eq__ ill-defined (numpy ==
+# is elementwise); compare streams via the arrays or to_access_sequence().
+@dataclass(eq=False)
+class CompiledTrace:
+    """An element-granular access stream compiled to dense numpy arrays.
+
+    Attributes
+    ----------
+    matrices:
+        Matrix names in interning order; ``key_matrix`` indexes into it.
+    shapes:
+        ``name -> (rows, cols)`` of the matrices the stream addresses
+        (may be empty when compiled from a bare op list).
+    elem_ids:
+        int64 ``[n_accesses]`` — dense element ID of every touch, in
+        stream order.
+    is_write:
+        bool ``[n_accesses]`` — whether the touch writes the element.
+    op_starts:
+        int64 ``[n_ops + 1]`` — op ``i`` owns accesses
+        ``op_starts[i]:op_starts[i+1]``.
+    op_read_ends:
+        int64 ``[n_ops]`` — boundary between op ``i``'s read-derived
+        accesses and its write-only extras.
+    key_matrix / key_flat:
+        decode tables: element ID ``e`` is element ``key_flat[e]`` of
+        matrix ``matrices[key_matrix[e]]``.
+    ops:
+        the compute ops the trace was compiled from, when available
+        (``None`` after :func:`~repro.trace.io.load_trace` — replays do
+        not need them, DAG extraction does).
+    """
+
+    matrices: tuple[str, ...]
+    shapes: dict[str, tuple[int, int]]
+    elem_ids: np.ndarray
+    is_write: np.ndarray
+    op_starts: np.ndarray
+    op_read_ends: np.ndarray
+    key_matrix: np.ndarray
+    key_flat: np.ndarray
+    ops: list[ComputeOp] | None = field(default=None, repr=False)
+    _next_use: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _prev_access: np.ndarray | None = field(default=None, repr=False, compare=False)
+    #: memo for expensive capacity-independent replay artifacts (reuse
+    #: distances, element-sorted permutations) keyed by artifact name.
+    _replay_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # shape
+    # ------------------------------------------------------------------ #
+    @property
+    def n_accesses(self) -> int:
+        return int(self.elem_ids.size)
+
+    @property
+    def n_ops(self) -> int:
+        return int(self.op_starts.size) - 1
+
+    @property
+    def n_elements(self) -> int:
+        """Distinct elements touched (the cold-miss floor of any replay)."""
+        return int(self.key_flat.size)
+
+    def __len__(self) -> int:
+        return self.n_accesses
+
+    # ------------------------------------------------------------------ #
+    # decoding
+    # ------------------------------------------------------------------ #
+    def key_of(self, elem_id: int) -> tuple[str, int]:
+        """Decode one element ID back to its ``(matrix, flat)`` key."""
+        return (self.matrices[int(self.key_matrix[elem_id])], int(self.key_flat[elem_id]))
+
+    def keys(self) -> list[tuple[str, int]]:
+        """All interned keys, indexed by element ID."""
+        names = self.matrices
+        return [
+            (names[m], f)
+            for m, f in zip(self.key_matrix.tolist(), self.key_flat.tolist())
+        ]
+
+    def to_access_sequence(self) -> list[tuple[tuple[str, int], bool]]:
+        """The stream as ``((matrix, flat), is_write)`` tuples.
+
+        Bit-compatible with the reference traversal
+        (:func:`~repro.sched.schedule.access_sequence_reference`); kept so
+        legacy consumers and cross-checks can round-trip through the IR.
+        """
+        keys = self.keys()
+        return [
+            (keys[e], w)
+            for e, w in zip(self.elem_ids.tolist(), self.is_write.tolist())
+        ]
+
+    def op_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(element IDs, write flags) of op ``i``'s accesses."""
+        s, e = int(self.op_starts[i]), int(self.op_starts[i + 1])
+        return self.elem_ids[s:e], self.is_write[s:e]
+
+    # ------------------------------------------------------------------ #
+    # position links
+    # ------------------------------------------------------------------ #
+    def _links(self) -> tuple[np.ndarray, np.ndarray]:
+        """(src, dst) pairs of consecutive accesses to the same element."""
+        order = np.argsort(self.elem_ids, kind="stable")
+        ids_sorted = self.elem_ids[order]
+        same = ids_sorted[1:] == ids_sorted[:-1]
+        return order[:-1][same], order[1:][same]
+
+    def next_use(self) -> np.ndarray:
+        """``next_use[p]``: position of the next access to ``elem_ids[p]``.
+
+        The sentinel for "never used again" is ``n_accesses`` (so the array
+        is directly usable as a priority without overflow games).  Computed
+        once via a stable argsort (reverse ``np.unique``-style indexing)
+        and cached.
+        """
+        if self._next_use is None:
+            nxt = np.full(self.n_accesses, self.n_accesses, dtype=np.int64)
+            src, dst = self._links()
+            nxt[src] = dst
+            self._next_use = nxt
+        return self._next_use
+
+    def prev_access(self) -> np.ndarray:
+        """``prev_access[p]``: previous access to the same element, else -1."""
+        if self._prev_access is None:
+            prev = np.full(self.n_accesses, -1, dtype=np.int64)
+            src, dst = self._links()
+            prev[dst] = src
+            self._prev_access = prev
+        return self._prev_access
+
+    # ------------------------------------------------------------------ #
+    # derived traces
+    # ------------------------------------------------------------------ #
+    def reorder(self, order: Sequence[int]) -> "CompiledTrace":
+        """The trace of the same ops emitted in a different total order.
+
+        Element interning is shared (no re-compilation): the new stream is
+        a gather of the old op slices, which is what makes rescheduling
+        sweeps over one recorded trace cheap.
+        """
+        order = list(order)
+        if sorted(order) != list(range(self.n_ops)):
+            raise ConfigurationError(
+                f"order must be a permutation of 0..{self.n_ops - 1}"
+            )
+        starts = self.op_starts
+        sizes = np.diff(starts)
+        gather = np.concatenate(
+            [np.arange(starts[i], starts[i + 1], dtype=np.int64) for i in order]
+        ) if order else np.zeros(0, dtype=np.int64)
+        new_sizes = sizes[order] if order else sizes[:0]
+        new_starts = np.zeros(len(order) + 1, dtype=np.int64)
+        np.cumsum(new_sizes, out=new_starts[1:])
+        read_lens = self.op_read_ends - starts[:-1]
+        new_read_ends = new_starts[:-1] + read_lens[order]
+        return CompiledTrace(
+            matrices=self.matrices,
+            shapes=self.shapes,
+            elem_ids=self.elem_ids[gather],
+            is_write=self.is_write[gather],
+            op_starts=new_starts,
+            op_read_ends=new_read_ends,
+            key_matrix=self.key_matrix,
+            key_flat=self.key_flat,
+            ops=[self.ops[i] for i in order] if self.ops is not None else None,
+        )
+
+
+def _ops_of(source: "Schedule | list[ComputeOp]") -> list[ComputeOp]:
+    if isinstance(source, Schedule):
+        return [s.op for s in source.steps if isinstance(s, ComputeStep)]
+    return list(source)
+
+
+def compile_trace(
+    source: "Schedule | list[ComputeOp] | CompiledTrace",
+    shapes: dict[str, tuple[int, int]] | None = None,
+) -> CompiledTrace:
+    """Compile a schedule or op list into a :class:`CompiledTrace`.
+
+    Passing an already-compiled trace returns it unchanged, so consumers
+    can accept either representation without re-compiling.
+    """
+    if isinstance(source, CompiledTrace):
+        return source
+    if isinstance(source, Schedule):
+        shapes = dict(source.shapes)
+    ops = _ops_of(source)
+    if shapes is None:
+        shapes = {}
+
+    # Pass 1: intern matrix names, collect region arrays, find the flat span.
+    mat_index: dict[str, int] = {}
+    per_op: list[tuple[list[tuple[int, np.ndarray]], list[tuple[int, np.ndarray]]]] = []
+    max_flat = -1
+    for op in ops:
+        reads: list[tuple[int, np.ndarray]] = []
+        writes: list[tuple[int, np.ndarray]] = []
+        for group, regions in ((reads, op.reads()), (writes, op.writes())):
+            for region in regions:
+                mi = mat_index.setdefault(region.matrix, len(mat_index))
+                flat = region.flat
+                if flat.size:
+                    max_flat = max(max_flat, int(flat[-1]))
+                group.append((mi, flat))
+        per_op.append((reads, writes))
+
+    # Pass 2: per op, reproduce the canonical traversal on global IDs.
+    stride = np.int64(max_flat + 1 if max_flat >= 0 else 1)
+    gid_parts: list[np.ndarray] = []
+    write_parts: list[np.ndarray] = []
+    op_sizes = np.zeros(len(ops), dtype=np.int64)
+    read_lens = np.zeros(len(ops), dtype=np.int64)
+    empty = np.zeros(0, dtype=np.int64)
+    for i, (reads, writes) in enumerate(per_op):
+        wg = (
+            np.concatenate([mi * stride + flat for mi, flat in writes])
+            if writes
+            else empty
+        )
+        wu = np.unique(wg)
+        rg = (
+            np.concatenate([mi * stride + flat for mi, flat in reads])
+            if reads
+            else empty
+        )
+        read_writes = _in_sorted(rg, wu)
+        extras = wg[~_in_sorted(wg, np.unique(rg))] if wg.size else empty
+        gid_parts.append(rg)
+        gid_parts.append(extras)
+        write_parts.append(read_writes)
+        write_parts.append(np.ones(extras.size, dtype=bool))
+        read_lens[i] = rg.size
+        op_sizes[i] = rg.size + extras.size
+
+    all_gids = np.concatenate(gid_parts) if gid_parts else empty
+    is_write = (
+        np.concatenate(write_parts) if write_parts else np.zeros(0, dtype=bool)
+    )
+    uniq, elem_ids = np.unique(all_gids, return_inverse=True)
+    op_starts = np.zeros(len(ops) + 1, dtype=np.int64)
+    np.cumsum(op_sizes, out=op_starts[1:])
+
+    matrices = tuple(mat_index)
+    return CompiledTrace(
+        matrices=matrices,
+        shapes=shapes,
+        elem_ids=elem_ids.astype(np.int64, copy=False),
+        is_write=is_write,
+        op_starts=op_starts,
+        op_read_ends=op_starts[:-1] + read_lens,
+        key_matrix=(uniq // stride).astype(np.int32),
+        key_flat=(uniq % stride).astype(np.int64),
+        ops=ops,
+    )

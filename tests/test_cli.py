@@ -66,3 +66,49 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["explode"])
+
+
+class TestTraceCli:
+    def test_compile_info_replay(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t.npz")
+        sched_path = str(tmp_path / "s.npz")
+        assert main(
+            ["trace", "compile", "--kernel", "tbs", "--n", "26", "--m", "3",
+             "--s", "15", "-o", out_path, "--schedule-out", sched_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "full schedule written" in out
+
+        assert main(["trace", "info", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "distinct elements" in out
+
+        assert main(["trace", "info", sched_path]) == 0
+        out = capsys.readouterr().out
+        assert "schedule container" in out and "computes" in out
+
+        assert main(
+            ["trace", "replay", out_path, "--capacity", "15", "30",
+             "--policy", "both", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "belady" in out
+        assert "all counts identical" in out
+
+    def test_replay_schedule_container(self, capsys, tmp_path):
+        sched_path = str(tmp_path / "s.npz")
+        assert main(
+            ["trace", "compile", "--kernel", "chol", "--n", "12", "--m", "0",
+             "--s", "15", "-o", str(tmp_path / "unused.npz"),
+             "--schedule-out", sched_path]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "replay", sched_path, "--capacity", "15", "--policy", "lru"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

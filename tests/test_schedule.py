@@ -129,3 +129,39 @@ class TestValidate:
         # the full lower triangle of C exactly once (footprint == n(n+1)/2).
         assert fp["C"] == 26 * 27 // 2
         assert fp["A"] == 26 * 3
+
+
+class TestCachedStats:
+    """counts()/io_volume() are computed in one pass and cached by length."""
+
+    def test_cache_invalidated_on_append(self):
+        m = syrk_machine()
+        sched = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(26), range(3)))
+        loads, stores = sched.io_volume()
+        counts = sched.counts()
+        # Appending (what recording does) must invalidate the cache.
+        extra = Region("A", np.array([0, 1], dtype=np.int64))
+        sched.steps.append(LoadStep(extra))
+        sched.steps.append(EvictStep(extra, writeback=True))
+        loads2, stores2 = sched.io_volume()
+        assert (loads2, stores2) == (loads + 2, stores + 2)
+        counts2 = sched.counts()
+        assert counts2["load"] == counts["load"] + 1
+        assert counts2["evict"] == counts["evict"] + 1
+        assert counts2["compute"] == counts["compute"]
+
+    def test_cache_hit_returns_same_values(self):
+        m = syrk_machine()
+        sched = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(26), range(3)))
+        assert sched.io_volume() == sched.io_volume()
+        first = sched.counts()
+        second = sched.counts()
+        assert first == second
+        # counts() hands out a copy: mutating it must not poison the cache.
+        first["load"] = -1
+        assert sched.counts()["load"] != -1
+
+    def test_empty_schedule(self):
+        sched = Schedule()
+        assert sched.io_volume() == (0, 0)
+        assert sched.counts() == {"load": 0, "evict": 0, "compute": 0}

@@ -1,0 +1,343 @@
+"""Tests for the compiled trace IR (repro.trace): compilation, replays, io."""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.analysis.lru_replay import lru_replay, lru_replay_reference
+from repro.baselines.ooc_chol import ooc_chol
+from repro.baselines.ooc_syrk import ooc_syrk
+from repro.core.syr2k import tbs_syr2k
+from repro.core.tbs import tbs_syrk
+from repro.errors import ConfigurationError, ScheduleError
+from repro.graph.compare import record_case
+from repro.graph.dependency import DependencyGraph, dependency_graph
+from repro.graph.policies import belady_replay, belady_replay_reference
+from repro.graph.rewriter import rewrite_trace
+from repro.sched.schedule import (
+    access_sequence,
+    access_sequence_reference,
+    record_schedule,
+    replay_schedule,
+)
+from repro.trace.compiled import CompiledTrace, compile_trace
+from repro.trace.io import (
+    file_kind,
+    load_schedule,
+    load_trace,
+    save_schedule,
+    save_trace,
+)
+from repro.trace.replay import belady_replay_trace, lru_replay_trace
+
+
+def recorded(kernel, n, mc, s):
+    m = TwoLevelMachine(s, strict=False, numerics=False)
+    if kernel is ooc_chol:
+        m.add_matrix("A", np.zeros((n, n)))
+        return record_schedule(m, lambda: kernel(m, "A", range(n)))
+    m.add_matrix("A", np.zeros((n, mc)))
+    m.add_matrix("C", np.zeros((n, n)))
+    if kernel is tbs_syr2k:
+        m.add_matrix("B", np.zeros((n, mc)))
+        return record_schedule(m, lambda: kernel(m, "A", "B", "C", range(n), range(mc)))
+    return record_schedule(m, lambda: kernel(m, "A", "C", range(n), range(mc)))
+
+
+@pytest.fixture(scope="module", params=["tbs", "ocs", "syr2k", "chol"])
+def sched(request):
+    kernel = {
+        "tbs": tbs_syrk, "ocs": ooc_syrk, "syr2k": tbs_syr2k, "chol": ooc_chol,
+    }[request.param]
+    n, mc = (20, 0) if request.param == "chol" else (26, 3)
+    return recorded(kernel, n, mc, 15)
+
+
+def synthetic_trace(ids, writes, op_sizes=None):
+    """Build a CompiledTrace directly from raw arrays (one fake matrix)."""
+    ids = np.asarray(ids, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    n_elem = int(ids.max()) + 1 if ids.size else 0
+    if op_sizes is None:
+        op_sizes = [ids.size]
+    op_starts = np.zeros(len(op_sizes) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(op_sizes, dtype=np.int64), out=op_starts[1:])
+    return CompiledTrace(
+        matrices=("M",),
+        shapes={"M": (1, max(n_elem, 1))},
+        elem_ids=ids,
+        is_write=writes,
+        op_starts=op_starts,
+        op_read_ends=op_starts[1:].copy(),
+        key_matrix=np.zeros(n_elem, dtype=np.int32),
+        key_flat=np.arange(n_elem, dtype=np.int64),
+        ops=None,
+    )
+
+
+class TestCompiledTrace:
+    def test_matches_reference_sequence(self, sched):
+        trace = compile_trace(sched)
+        assert trace.to_access_sequence() == access_sequence_reference(sched)
+
+    def test_shim_is_bit_identical(self, sched):
+        assert access_sequence(sched) == access_sequence_reference(sched)
+
+    def test_next_use_matches_python_loop(self, sched):
+        trace = compile_trace(sched)
+        seq = access_sequence_reference(sched)
+        never = len(seq)
+        expected = [never] * len(seq)
+        last = {}
+        for i in range(len(seq) - 1, -1, -1):
+            key = seq[i][0]
+            expected[i] = last.get(key, never)
+            last[key] = i
+        assert trace.next_use().tolist() == expected
+
+    def test_prev_access_inverts_next_use(self, sched):
+        trace = compile_trace(sched)
+        nxt, prev = trace.next_use(), trace.prev_access()
+        for p in range(trace.n_accesses):
+            if nxt[p] < trace.n_accesses:
+                assert prev[nxt[p]] == p
+
+    def test_op_boundaries(self, sched):
+        trace = compile_trace(sched)
+        starts = trace.op_starts
+        assert starts[0] == 0 and starts[-1] == trace.n_accesses
+        assert (np.diff(starts) >= 0).all()
+        assert (trace.op_read_ends >= starts[:-1]).all()
+        assert (trace.op_read_ends <= starts[1:]).all()
+        # This library's ops write subsets of their reads: no write extras.
+        assert (trace.op_read_ends == starts[1:]).all()
+
+    def test_keys_decode(self, sched):
+        trace = compile_trace(sched)
+        keys = trace.keys()
+        assert len(keys) == trace.n_elements == len(set(keys))
+        assert trace.key_of(0) == keys[0]
+        assert set(k for k, _w in access_sequence_reference(sched)) == set(keys)
+
+    def test_compile_is_idempotent(self, sched):
+        trace = compile_trace(sched)
+        assert compile_trace(trace) is trace
+
+    def test_reorder_matches_recompilation(self, sched):
+        trace = compile_trace(sched)
+        rng = np.random.default_rng(0)
+        order = rng.permutation(trace.n_ops).tolist()
+        reordered = trace.reorder(order)
+        direct = compile_trace([trace.ops[i] for i in order])
+        assert reordered.to_access_sequence() == direct.to_access_sequence()
+        assert reordered.ops == [trace.ops[i] for i in order]
+
+    def test_reorder_rejects_non_permutation(self, sched):
+        trace = compile_trace(sched)
+        with pytest.raises(ConfigurationError, match="permutation"):
+            trace.reorder([0] * trace.n_ops)
+
+    def test_empty_ops(self):
+        trace = compile_trace([])
+        assert trace.n_accesses == trace.n_ops == trace.n_elements == 0
+        assert trace.to_access_sequence() == []
+        assert lru_replay_trace(trace, 4).loads == 0
+        assert belady_replay_trace(trace, 4).loads == 0
+
+
+class TestVectorizedReplays:
+    CAPACITIES = (1, 2, 7, 15, 31, 10**6)
+
+    def test_lru_matches_reference(self, sched):
+        trace = compile_trace(sched)
+        for capacity in self.CAPACITIES:
+            ref = lru_replay_reference(sched, capacity)
+            for method in ("distance", "simulate"):
+                fast = lru_replay_trace(trace, capacity, method=method)
+                assert (fast.loads, fast.stores, fast.evict_stores) == (
+                    ref.loads, ref.stores, ref.evict_stores), (capacity, method)
+                assert fast.n_accesses == ref.n_accesses
+                assert fast.distinct == ref.distinct
+
+    def test_belady_matches_reference(self, sched):
+        trace = compile_trace(sched)
+        for capacity in self.CAPACITIES:
+            fast = belady_replay_trace(trace, capacity)
+            ref = belady_replay_reference(sched, capacity)
+            assert (fast.loads, fast.stores, fast.evict_stores) == (
+                ref.loads, ref.stores, ref.evict_stores), capacity
+
+    def test_public_entrypoints_accept_traces(self, sched):
+        trace = compile_trace(sched)
+        assert lru_replay(trace, 15).loads == lru_replay(sched, 15).loads
+        assert belady_replay(trace, 15).loads == belady_replay(sched, 15).loads
+
+    def test_belady_never_above_lru(self, sched):
+        trace = compile_trace(sched)
+        for capacity in (2, 15, 60):
+            assert (
+                belady_replay_trace(trace, capacity).loads
+                <= lru_replay_trace(trace, capacity).loads
+            )
+
+    def test_bad_capacity(self, sched):
+        trace = compile_trace(sched)
+        for fn in (lru_replay_trace, belady_replay_trace):
+            with pytest.raises(ConfigurationError):
+                fn(trace, 0)
+
+    def test_stores_split(self, sched):
+        # stores == eviction writebacks + final flush, in both engines.
+        trace = compile_trace(sched)
+        r = lru_replay_trace(trace, 7)
+        assert 0 <= r.evict_stores <= r.stores
+
+
+class TestBeladyTieBreak:
+    """Regression for the stale dirty-hint tie-break (ISSUE 2 satellite).
+
+    Among equally-distant (never-used-again) victims the documented policy
+    prefers clean elements, deferring dirty writebacks to the final flush.
+    A policy that consults a stale dirty snapshot (or prefers dirty
+    victims) turns those deferred flushes into eviction-time stores, which
+    the ``evict_stores`` counter exposes.
+    """
+
+    def test_clean_victim_preferred(self):
+        # capacity 2: A written, B read, then C forces one eviction.  Both
+        # A and B are never used again; evicting clean B costs nothing now,
+        # evicting dirty A would force an immediate writeback.
+        trace = synthetic_trace([0, 1, 2], [True, False, False])
+        for fn in (belady_replay_trace, belady_replay_reference):
+            r = fn(trace, 2)
+            assert r.loads == 3
+            assert r.evict_stores == 0, fn.__name__
+            assert r.stores == 1  # A flushed dirty at the end
+
+    def test_write_hit_refreshes_dirty_state(self):
+        # A is pushed clean (read), becomes dirty via a later write *hit*:
+        # the tie-break must see the live dirty bit, not the push-time one.
+        # capacity 2: A read, A write (hit), B read, C read -> evict B.
+        trace = synthetic_trace([0, 0, 1, 2], [False, True, False, False])
+        for fn in (belady_replay_trace, belady_replay_reference):
+            r = fn(trace, 2)
+            assert r.loads == 3
+            assert r.evict_stores == 0, fn.__name__
+            assert r.stores == 1
+
+    def test_dirty_victim_when_no_clean_available(self):
+        # capacity 1 forces evicting the dirty element: the writeback is
+        # real and must be counted at eviction time.
+        trace = synthetic_trace([0, 1], [True, False])
+        for fn in (belady_replay_trace, belady_replay_reference):
+            r = fn(trace, 1)
+            assert r.evict_stores == 1, fn.__name__
+            assert r.stores == 1
+
+    def test_randomized_agreement_on_stores(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            n = int(rng.integers(3, 60))
+            ids = rng.integers(0, max(2, n // 3), size=n)
+            writes = rng.random(n) < 0.4
+            trace = synthetic_trace(ids, writes)
+            for capacity in (1, 2, 3, 5):
+                fast = belady_replay_trace(trace, capacity)
+                ref = belady_replay_reference(trace, capacity)
+                assert (fast.loads, fast.stores, fast.evict_stores) == (
+                    ref.loads, ref.stores, ref.evict_stores)
+
+
+class TestTraceIO:
+    def test_trace_roundtrip(self, sched, tmp_path):
+        trace = compile_trace(sched)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.ops is None
+        assert loaded.matrices == trace.matrices
+        assert loaded.shapes == trace.shapes
+        np.testing.assert_array_equal(loaded.elem_ids, trace.elem_ids)
+        np.testing.assert_array_equal(loaded.is_write, trace.is_write)
+        np.testing.assert_array_equal(loaded.op_starts, trace.op_starts)
+        for capacity in (1, 15, 10**6):
+            a = lru_replay_trace(trace, capacity)
+            b = lru_replay_trace(loaded, capacity)
+            assert (a.loads, a.stores) == (b.loads, b.stores)
+            a = belady_replay_trace(trace, capacity)
+            b = belady_replay_trace(loaded, capacity)
+            assert (a.loads, a.stores) == (b.loads, b.stores)
+
+    def test_schedule_roundtrip_bit_identical(self, tmp_path):
+        for name, n, mc in (("tbs", 26, 3), ("syr2k", 24, 3), ("chol", 16, 0)):
+            case = record_case(name, n, mc, 15)
+            path = tmp_path / f"{name}.npz"
+            save_schedule(case.schedule, path)
+            loaded = load_schedule(path)
+            assert loaded.shapes == case.schedule.shapes
+            assert len(loaded.steps) == len(case.schedule.steps)
+            assert loaded.io_volume() == case.schedule.io_volume()
+            assert loaded.counts() == case.schedule.counts()
+            m = case.make_machine()
+            replay_schedule(loaded, m)
+            m.assert_empty()
+            for rname in case.result_names:
+                assert np.array_equal(m.result(rname), case.reference[rname])
+            # the compiled streams are identical too
+            assert (
+                compile_trace(loaded).to_access_sequence()
+                == compile_trace(case.schedule).to_access_sequence()
+            )
+
+    def test_file_kind_and_mismatch(self, sched, tmp_path):
+        trace = compile_trace(sched)
+        tpath, spath = tmp_path / "t.npz", tmp_path / "s.npz"
+        save_trace(trace, tpath)
+        save_schedule(sched, spath)
+        assert file_kind(tpath) == "trace"
+        assert file_kind(spath) == "schedule"
+        with pytest.raises(ConfigurationError, match="expected"):
+            load_trace(spath)
+        with pytest.raises(ConfigurationError, match="expected"):
+            load_schedule(tpath)
+
+    def test_not_a_container(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestGraphOverTrace:
+    def test_graph_carries_trace_and_int_keys(self, sched):
+        graph = dependency_graph(sched)
+        assert graph.trace is not None
+        node = graph.nodes[0]
+        assert all(isinstance(k, int) for k in node.touched_keys())
+        # decoded keys equal the op's region keys
+        op = node.op
+        decoded = {graph.trace.key_of(k) for k in node.touched_keys()}
+        expected = {
+            (r.matrix, int(i))
+            for r in list(op.reads()) + list(op.writes())
+            for i in r.flat
+        }
+        assert decoded == expected
+
+    def test_dependency_graph_accepts_trace(self, sched):
+        trace = compile_trace(sched)
+        g1 = dependency_graph(trace)
+        g2 = dependency_graph(sched)
+        assert g1.edges() == g2.edges()
+
+    def test_from_trace_requires_ops(self, sched, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(compile_trace(sched), path)
+        with pytest.raises(ConfigurationError, match="op objects"):
+            DependencyGraph.from_trace(load_trace(path))
+
+    def test_rewrite_trace_requires_ops(self, sched, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(compile_trace(sched), path)
+        with pytest.raises(ScheduleError, match="op objects"):
+            rewrite_trace(load_trace(path), 15)

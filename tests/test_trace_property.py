@@ -1,0 +1,153 @@
+"""Property-based cross-checks: vectorized replays vs the reference walkers.
+
+Two generators feed the same invariant — the array engines must return
+bit-identical ``loads`` / ``stores`` / ``distinct`` to the tuple-per-touch
+reference paths at every capacity:
+
+* *synthetic streams*: adversarial raw access sequences (arbitrary element
+  IDs, write flags, op boundaries) built directly as
+  :class:`~repro.trace.compiled.CompiledTrace` arrays, hammering the
+  chunked engine's miss handling at tiny capacities;
+* *recorded op streams*: genuine kernel schedules at random shapes, which
+  additionally exercise the vectorized compilation itself against
+  :func:`~repro.sched.schedule.access_sequence_reference`.
+
+Hypothesis drives the synthetic generator when available; a seeded random
+sweep covers the same space otherwise, so the suite does not depend on the
+package.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.analysis.lru_replay import lru_replay_reference
+from repro.baselines.ooc_syrk import ooc_syrk
+from repro.core.tbs import tbs_syrk
+from repro.graph.policies import belady_replay_reference
+from repro.sched.schedule import access_sequence_reference, record_schedule
+from repro.trace.compiled import CompiledTrace, compile_trace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.replay import belady_replay_trace, lru_replay_trace
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def build_trace(ids, writes, op_sizes):
+    ids = np.asarray(ids, dtype=np.int64)
+    # densify IDs so key tables stay small
+    _uniq, ids = np.unique(ids, return_inverse=True)
+    ids = ids.astype(np.int64)
+    n_elem = int(ids.max()) + 1 if ids.size else 0
+    op_starts = np.zeros(len(op_sizes) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(op_sizes, dtype=np.int64), out=op_starts[1:])
+    return CompiledTrace(
+        matrices=("M",),
+        shapes={"M": (1, max(n_elem, 1))},
+        elem_ids=ids,
+        is_write=np.asarray(writes, dtype=bool),
+        op_starts=op_starts,
+        op_read_ends=op_starts[1:].copy(),
+        key_matrix=np.zeros(n_elem, dtype=np.int32),
+        key_flat=np.arange(n_elem, dtype=np.int64),
+        ops=None,
+    )
+
+
+def assert_replays_match(trace, capacity):
+    fast_lru = lru_replay_trace(trace, capacity)
+    sim_lru = lru_replay_trace(trace, capacity, method="simulate")
+    ref_lru = lru_replay_reference(trace, capacity)
+    assert (fast_lru.loads, fast_lru.stores, fast_lru.distinct) == (
+        ref_lru.loads, ref_lru.stores, ref_lru.distinct), ("lru", capacity)
+    assert (sim_lru.loads, sim_lru.stores, sim_lru.evict_stores) == (
+        ref_lru.loads, ref_lru.stores, ref_lru.evict_stores), ("lru-sim", capacity)
+    assert fast_lru.evict_stores == ref_lru.evict_stores, ("lru-split", capacity)
+    fast_min = belady_replay_trace(trace, capacity)
+    ref_min = belady_replay_reference(trace, capacity)
+    assert (fast_min.loads, fast_min.stores, fast_min.distinct) == (
+        ref_min.loads, ref_min.stores, ref_min.distinct), ("belady", capacity)
+    assert fast_min.loads <= fast_lru.loads
+
+
+def random_stream(rng):
+    n = int(rng.integers(1, 120))
+    n_keys = int(rng.integers(1, max(2, n // 2) + 1))
+    ids = rng.integers(0, n_keys, size=n)
+    writes = rng.random(n) < float(rng.uniform(0.0, 0.8))
+    # random op boundaries (including empty ops)
+    n_ops = int(rng.integers(1, 6))
+    cuts = np.sort(rng.integers(0, n + 1, size=n_ops - 1))
+    op_sizes = np.diff(np.concatenate([[0], cuts, [n]]))
+    return ids, writes, op_sizes
+
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def streams(draw):
+        n = draw(st.integers(min_value=1, max_value=80))
+        n_keys = draw(st.integers(min_value=1, max_value=max(1, n)))
+        ids = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_keys - 1),
+                min_size=n, max_size=n,
+            )
+        )
+        writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        return ids, writes, [n]
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=streams(), capacity=st.integers(min_value=1, max_value=12))
+    def test_replays_bit_identical_hypothesis(stream, capacity):
+        ids, writes, op_sizes = stream
+        assert_replays_match(build_trace(ids, writes, op_sizes), capacity)
+
+
+def test_replays_bit_identical_seeded_sweep():
+    rng = np.random.default_rng(1234)
+    for _ in range(80):
+        ids, writes, op_sizes = random_stream(rng)
+        trace = build_trace(ids, writes, op_sizes)
+        for capacity in (1, 2, 3, 8, 64):
+            assert_replays_match(trace, capacity)
+
+
+def test_recorded_streams_random_shapes():
+    rng = np.random.default_rng(99)
+    for _ in range(6):
+        n = int(rng.integers(8, 30))
+        mc = int(rng.integers(1, 5))
+        s = int(rng.integers(7, 40))
+        kernel = tbs_syrk if rng.random() < 0.5 else ooc_syrk
+        m = TwoLevelMachine(s, strict=False, numerics=False)
+        m.add_matrix("A", np.zeros((n, mc)))
+        m.add_matrix("C", np.zeros((n, n)))
+        sched = record_schedule(m, lambda: kernel(m, "A", "C", range(n), range(mc)))
+        trace = compile_trace(sched)
+        assert trace.to_access_sequence() == access_sequence_reference(sched)
+        for capacity in (1, s, 4 * s):
+            assert_replays_match(trace, capacity)
+
+
+def test_npz_roundtrip_preserves_replays(tmp_path):
+    rng = np.random.default_rng(5)
+    for i in range(5):
+        ids, writes, op_sizes = random_stream(rng)
+        trace = build_trace(ids, writes, op_sizes)
+        path = tmp_path / f"t{i}.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for capacity in (1, 3, 17):
+            a = lru_replay_trace(trace, capacity)
+            b = lru_replay_trace(loaded, capacity)
+            assert (a.loads, a.stores) == (b.loads, b.stores)
+            a = belady_replay_trace(trace, capacity)
+            b = belady_replay_trace(loaded, capacity)
+            assert (a.loads, a.stores) == (b.loads, b.stores)
