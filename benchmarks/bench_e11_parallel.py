@@ -52,9 +52,12 @@ def test_e11_parallel_syrk(once):
         assert tb.max_a_recv < sq.max_a_recv
         # balance stays tight for both
         assert sq.compute_imbalance < 1.2 and tb.compute_imbalance < 1.2
-        # every C element received exactly once across the fleet
+        # every C element received exactly once across the fleet, and the
+        # send side mirrors it per node (writeback evictions surfaced)
         assert sum(r.c_recv for r in sq.nodes) == N * (N + 1) // 2
         assert sum(r.c_recv for r in tb.nodes) == N * (N + 1) // 2
+        assert all(r.c_send == r.c_recv for r in sq.nodes + tb.nodes)
+        assert sq.total_c_send == tb.total_c_send == N * (N + 1) // 2
     print()
     print(t.render())
 

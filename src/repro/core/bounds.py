@@ -179,6 +179,27 @@ def parallel_cholesky_lower_bound_per_node(n: int, p: int, s: int) -> float:
     return n**3 / (p * math.sqrt(float(s)))
 
 
+def parallel_syrk_lower_bound_per_node(n: int, m: int, p: int, s: int) -> float:
+    """Per-node SYRK receive floor: ``N^2 M / (sqrt(2) P sqrt(S)) - S``.
+
+    The §2.2 equivalence applied to the paper's symmetric bound, in the
+    style of Irony et al.'s memory-communication tradeoff: some node
+    performs at least ``|S|/P = N^2 M / (2P)`` of the multiplications, its
+    operational intensity is capped at ``sqrt(S/2)`` (Lemma 3.1 with the
+    symmetric improvement), and up to ``S`` operands may already be
+    resident — so that node receives at least
+    ``N^2 M / (2P) / sqrt(S/2) - S`` elements from the rest of the machine.
+    This is the yardstick benchmark E14 charges the sharded executor's
+    maximum per-node receive volume against.
+    """
+    if p < 1:
+        raise ConfigurationError(f"P must be >= 1, got {p}")
+    _check(n, s)
+    if m < 1:
+        raise ConfigurationError(f"M must be >= 1, got {m}")
+    return n * n * m / (SQRT2 * p * math.sqrt(float(s))) - s
+
+
 def parallel_gemm_lower_bound_per_node(m: int, n: int, r: int, p: int, s: int) -> float:
     """Irony et al.'s memory-communication tradeoff (§2.2): at least one node
     moves ``M N R / (2 sqrt(2) P sqrt(S)) - S`` elements."""

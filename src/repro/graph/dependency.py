@@ -38,6 +38,7 @@ Edge kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from ..sched.ops import (
 )
 from ..sched.schedule import Schedule
 from ..trace.compiled import CompiledTrace, compile_trace
+from ..utils.unionfind import DisjointSets
 
 #: Op types whose writes are pure ``+=`` accumulations of contributions that
 #: do not depend on the accumulator's current value.  Any two of these
@@ -273,6 +275,71 @@ class DependencyGraph:
                     return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # shard analysis (the parallel executor's cut accounting)
+    # ------------------------------------------------------------------ #
+    def cut_edges(
+        self, owner: "Sequence[int]", *, kinds: frozenset[str] | None = None
+    ) -> list[tuple[int, int, frozenset[str]]]:
+        """Edges whose endpoints are owned by different shards.
+
+        ``owner[v]`` is the shard (node) index of op ``v`` — the assignment a
+        partitioner of :mod:`repro.parallel.executor` produced.  With
+        ``kinds`` given, only edges carrying at least one of those kinds are
+        returned.
+        """
+        if len(owner) != len(self.nodes):
+            raise ConfigurationError(
+                f"owner has {len(owner)} entries for {len(self.nodes)} ops"
+            )
+        out = []
+        for u, v, ks in self.edges():
+            if owner[u] != owner[v] and (kinds is None or ks & kinds):
+                out.append((u, v, ks))
+        return out
+
+    def cut_transfers(
+        self,
+        owner: "Sequence[int]",
+        *,
+        cut: list[tuple[int, int, frozenset[str]]] | None = None,
+    ) -> dict[tuple[int, int], set[int]]:
+        """Element IDs that must move between shards under ``owner``.
+
+        For every cross-shard edge that carries a true data flow, the
+        elements the producer wrote and the consumer needs form an explicit
+        network transfer (the §2.2 equivalence charges same-shard flows to
+        the node's own loads; cross-shard flows are node-to-node sends):
+
+        * ``"raw"`` edges carry the producer's writes the consumer reads
+          (for a commuting accumulation, the accumulator elements it updates);
+        * ``"reduction"`` edges carry the shared accumulator elements — a
+          split reduction class must combine partial sums across shards.
+
+        WAR/WAW-only edges move no data (they are ordering constraints).
+        Returns ``(src_shard, dst_shard) -> element IDs``; an element is
+        counted once per (producer shard, consumer shard) pair, matching a
+        model where each shard forwards its latest version once.
+
+        Pass an already-computed :meth:`cut_edges` list as ``cut`` to avoid
+        a second walk over the full edge set.
+        """
+        if cut is None:
+            cut = self.cut_edges(owner, kinds=frozenset({"raw", "reduction"}))
+        flows: dict[tuple[int, int], set[int]] = {}
+        for u, v, ks in cut:
+            if not ks & {"raw", "reduction"}:
+                continue
+            nu, nv = self.nodes[u], self.nodes[v]
+            if "raw" in ks:
+                needed = nv.input_keys | (nv.write_keys if nv.is_accumulation else frozenset())
+            else:  # reduction-only: the shared accumulator itself
+                needed = nv.write_keys
+            shared = nu.write_keys & needed
+            if shared:
+                flows.setdefault((owner[u], owner[v]), set()).update(shared)
+        return flows
+
     def reduction_classes(self) -> list[list[int]]:
         """Maximal groups of accumulations linked by reduction-only edges.
 
@@ -280,20 +347,11 @@ class DependencyGraph:
         kinds are exactly ``{"reduction"}`` connects them — i.e. the group of
         ops that commute with each other once reductions are relaxed.
         """
-        parent = list(range(len(self.nodes)))
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
+        sets = DisjointSets(len(self.nodes))
         for u, v, kinds in self.edges():
             if kinds == {"reduction"}:
-                parent[find(u)] = find(v)
-        groups: dict[int, list[int]] = {}
-        for v in range(len(self.nodes)):
-            groups.setdefault(find(v), []).append(v)
+                sets.union(u, v)
+        groups = sets.groups()
         return sorted((g for g in groups.values() if len(g) > 1), key=lambda g: g[0])
 
     def topological_order(self, *, relax_reductions: bool = False) -> list[int]:

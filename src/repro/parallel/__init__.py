@@ -17,15 +17,38 @@ The conclusion's conjecture — that triangle blocks yield communication-
 efficient *parallel* symmetric kernels — is reproduced as experiment E11:
 the per-node maximum receive volume drops by the same ``(k-1)/s -> sqrt(2)``
 factor as in the sequential model, at equal memory and balance.
+
+Beyond the fixed SYRK strategies, :mod:`repro.parallel.executor` runs *any*
+recorded schedule across ``p`` nodes: it partitions the schedule's task DAG
+(level-greedy antichain dealing / greedy locality / owner-computes),
+replays each shard on its own counting engine via per-shard sub-trace
+slicing, and charges cross-shard RAW/reduction edges as explicit
+node-to-node transfers — experiment E14 measures the result against the
+per-node lower bounds in :mod:`repro.core.bounds`.
 """
 
+from .executor import (
+    PARTITIONERS,
+    POLICIES,
+    ExecutorSummary,
+    ShardReport,
+    execute_graph,
+    owner_from_assignment,
+    partition_graph,
+    shard_schedule,
+)
 from .partition import (
     BlockSpec,
     NodeAssignment,
     square_tile_assignment,
     triangle_block_assignment,
 )
-from .simulate import NodeReport, ParallelSummary, simulate_syrk
+from .simulate import (
+    NodeReport,
+    ParallelSummary,
+    record_block_schedule,
+    simulate_syrk,
+)
 
 __all__ = [
     "BlockSpec",
@@ -34,5 +57,14 @@ __all__ = [
     "triangle_block_assignment",
     "NodeReport",
     "ParallelSummary",
+    "record_block_schedule",
     "simulate_syrk",
+    "PARTITIONERS",
+    "POLICIES",
+    "ExecutorSummary",
+    "ShardReport",
+    "execute_graph",
+    "owner_from_assignment",
+    "partition_graph",
+    "shard_schedule",
 ]

@@ -1,0 +1,581 @@
+"""Sharded execution of a recorded schedule's task DAG across P nodes.
+
+The fixed-strategy simulator (:mod:`repro.parallel.simulate`) can only
+distribute SYRK under its two built-in block layouts.  This module runs
+*any* recorded schedule on ``p`` simulated nodes: extract the schedule's
+:class:`~repro.graph.dependency.DependencyGraph` (whose antichain levels
+are exactly the op sets a multi-node schedule may run concurrently),
+partition the ops across nodes with a pluggable heuristic, and replay each
+node's shard on its own counting engine with fast memory ``S``.
+
+Per-node accounting follows the paper's §2.2 equivalence — every load of a
+node's two-level replay is a *receive* from the rest of the machine, every
+store a *send* — and the DAG's cross-shard cut makes the node-to-node part
+of that traffic explicit: elements carried by cross-shard RAW edges (and
+by split reduction classes, whose partial sums must be combined) are
+reported as transfers between the producing and consuming shards
+(:meth:`~repro.graph.dependency.DependencyGraph.cut_transfers`).
+
+Partitioners (:data:`PARTITIONERS`):
+
+``"level-greedy"``    walk the DAG's antichain levels in depth order; within
+                      each level deal ops largest-first to the least-loaded
+                      node (rotating ties).  Maximizes the concurrently
+                      runnable work per node, ignores data placement;
+``"locality"``        greedy data-affinity: assign each op (in topological
+                      order) to the node already owning most of its operand
+                      elements, subject to a load cap.  Minimizes the cut at
+                      some cost in balance;
+``"owner-computes"``  every op lands on the node that owns its *output*
+                      elements (ops sharing written elements are grouped and
+                      dealt as units).  Each element is written by exactly
+                      one node, so no reduction class is ever split and
+                      write-carrying transfers are zero by construction.
+
+Replay policies (:data:`POLICIES`):
+
+``"rewrite"``   dress each shard's sub-trace up as an explicit load/evict
+                stream (load-on-demand, evict-by-furthest-next-use — the
+                per-order optimum of :func:`repro.graph.rewriter.rewrite_trace`)
+                and validate it against the model's rules, proving peak
+                occupancy <= S;
+``"lru"`` / ``"belady"``  count the shard's receive volume under the
+                array-based cache replays of :mod:`repro.trace.replay`;
+``"explicit"``  shard the *recorded* schedule's own load/evict steps
+                (:func:`shard_schedule`) and replay each node's slice on a
+                real counting machine — the mode that reproduces
+                :func:`repro.parallel.simulate.simulate_syrk` bit for bit
+                when fed the recorded block strategy.
+
+Sub-traces are sliced from one compiled trace without recompilation
+(:meth:`~repro.trace.compiled.CompiledTrace.select_ops`), so element IDs
+stay comparable across shards — which is what makes the cut accounting and
+the per-shard replays consistent with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ScheduleError
+from ..graph.dependency import DependencyGraph
+from ..graph.rewriter import rewrite_trace
+from ..machine.machine import TwoLevelMachine
+from ..machine.regions import Region
+from ..sched.schedule import ComputeStep, EvictStep, LoadStep, Schedule, Step
+from ..sched.validate import validate_schedule
+from ..trace.compiled import CompiledTrace, compile_trace
+from ..trace.replay import belady_replay_trace, lru_replay_trace
+from ..utils.unionfind import DisjointSets
+from .partition import NodeAssignment, deal_least_loaded
+from .simulate import fleet_imbalance, fleet_mean
+
+PARTITIONERS = ("level-greedy", "locality", "owner-computes")
+POLICIES = ("rewrite", "lru", "belady", "explicit")
+
+
+# ---------------------------------------------------------------------- #
+# partitioners: DependencyGraph -> owner[op] in 0..p-1
+# ---------------------------------------------------------------------- #
+def _op_weights(graph: DependencyGraph) -> list[int]:
+    """Work per op (mults, floored at 1 so zero-mult ops still count)."""
+    return [max(int(node.op.mults), 1) for node in graph.nodes]
+
+
+def _partition_levels(graph: DependencyGraph, p: int) -> list[int]:
+    depth = graph.depths()
+    weights = _op_weights(graph)
+    levels: dict[int, list[int]] = {}
+    for v, d in enumerate(depth):
+        levels.setdefault(d, []).append(v)
+    owner = [0] * len(graph)
+    loads = [0] * p
+    for d in sorted(levels):
+        ops = levels[d]
+        targets = deal_least_loaded([weights[v] for v in ops], p, start=d, loads=loads)
+        for v, q in zip(ops, targets):
+            owner[v] = q
+    return owner
+
+
+def _partition_locality(graph: DependencyGraph, p: int, slack: float) -> list[int]:
+    weights = _op_weights(graph)
+    cap = slack * sum(weights) / p
+    owner = [0] * len(graph)
+    loads = [0] * p
+    elem_owner: dict[int, int] = {}
+    for v, node in enumerate(graph.nodes):  # original order is topological
+        score = [0] * p
+        for key in node.touched_keys():
+            q = elem_owner.get(key)
+            if q is not None:
+                score[q] += 1
+        candidates = [q for q in range(p) if loads[q] + weights[v] <= cap]
+        if not candidates:
+            candidates = list(range(p))
+        best = max(candidates, key=lambda q: (score[q], -loads[q], -q))
+        owner[v] = best
+        loads[best] += weights[v]
+        for key in node.touched_keys():
+            elem_owner[key] = best
+    return owner
+
+
+def _partition_owner_computes(graph: DependencyGraph, p: int) -> list[int]:
+    # Union ops that share a written element, so every element's writers
+    # land on one node (reduction classes never split; no write transfers).
+    sets = DisjointSets(len(graph))
+    writer_of: dict[int, int] = {}
+    for v, node in enumerate(graph.nodes):
+        for key in node.write_keys:
+            u = writer_of.setdefault(key, v)
+            if u != v:
+                sets.union(v, u)
+    groups = sets.groups()
+    weights = _op_weights(graph)
+    group_list = sorted(groups.values(), key=lambda g: g[0])
+    group_weights = [sum(weights[v] for v in g) for g in group_list]
+    targets = deal_least_loaded(group_weights, p)
+    owner = [0] * len(graph)
+    for g, q in zip(group_list, targets):
+        for v in g:
+            owner[v] = q
+    return owner
+
+
+def partition_graph(
+    graph: DependencyGraph,
+    p: int,
+    heuristic: str = "level-greedy",
+    *,
+    balance_slack: float = 1.2,
+) -> list[int]:
+    """Partition the DAG's ops across ``p`` nodes; returns ``owner[op]``."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    if heuristic not in PARTITIONERS:
+        raise ConfigurationError(
+            f"unknown partitioner {heuristic!r}; choose from {', '.join(PARTITIONERS)}"
+        )
+    if p == 1 or not len(graph):
+        return [0] * len(graph)
+    if heuristic == "level-greedy":
+        return _partition_levels(graph, p)
+    if heuristic == "locality":
+        return _partition_locality(graph, p, balance_slack)
+    return _partition_owner_computes(graph, p)
+
+
+def owner_from_assignment(
+    graph: DependencyGraph, assignment: NodeAssignment
+) -> list[int]:
+    """Map each op to the node owning its written C elements.
+
+    The bridge between the fixed block strategies and the DAG executor: the
+    :class:`~repro.parallel.partition.NodeAssignment` fixes which node owns
+    each ``(i, j)`` pair of the result's lower triangle; every compute op of
+    a recorded SYRK schedule writes pairs of exactly one node's share, and
+    that node becomes the op's owner.  Raises if an op writes pairs of two
+    different nodes (the assignment does not shard that schedule) or writes
+    elements outside the assignment's matrix ``C``.
+    """
+    trace = graph.trace
+    if trace is None:
+        raise ConfigurationError("graph carries no trace; build it from one")
+    try:
+        ci = trace.matrices.index("C")
+    except ValueError:
+        raise ConfigurationError("trace addresses no matrix named 'C'") from None
+    pair_node: dict[int, int] = {}
+    n = assignment.n
+    for node_id, blocks in enumerate(assignment.blocks):
+        for block in blocks:
+            for i, j in block.pairs():
+                pair_node[i * n + j] = node_id
+    owner = [0] * len(graph)
+    for v, node in enumerate(graph.nodes):
+        nodes_seen = set()
+        for key in node.write_keys:
+            if int(trace.key_matrix[key]) != ci:
+                continue
+            q = pair_node.get(int(trace.key_flat[key]))
+            if q is None:
+                raise ConfigurationError(
+                    f"op {v} writes C element {int(trace.key_flat[key])} "
+                    "not covered by the assignment"
+                )
+            nodes_seen.add(q)
+        if len(nodes_seen) != 1:
+            raise ConfigurationError(
+                f"op {v} writes C elements of {len(nodes_seen)} nodes; "
+                "the assignment does not shard this schedule"
+            )
+        owner[v] = nodes_seen.pop()
+    return owner
+
+
+# ---------------------------------------------------------------------- #
+# explicit sharding: slice a recorded schedule's load/evict steps per node
+# ---------------------------------------------------------------------- #
+def shard_schedule(
+    schedule: Schedule, owner: Sequence[int], p: int | None = None
+) -> list[Schedule]:
+    """Split a recorded schedule into one legal per-node schedule per shard.
+
+    Each node receives exactly the traffic it uses: for every residency
+    epoch of an element (original load .. matching evict), the nodes whose
+    compute ops touch the element during the epoch each load it at the
+    original load's position and evict it at the original evict's position
+    — writing back iff the original evicted with writeback and the node
+    itself wrote the element.  Steps keep their original relative order, so
+    every per-node schedule is legal (loads precede uses, evicts follow
+    them) and its resident set is a subset of the original's at every step:
+    per-node peak occupancy can only shrink.
+
+    Elements loaded but touched by no compute before eviction are charged
+    to no node (no node needed that receive).  For schedules whose loads
+    each serve a single node — e.g. the recorded block strategy of
+    :func:`~repro.parallel.simulate.record_block_schedule` — the per-node
+    counts partition the original counts exactly.
+    """
+    n_computes = sum(1 for s in schedule.steps if isinstance(s, ComputeStep))
+    if len(owner) != n_computes:
+        raise ConfigurationError(
+            f"owner has {len(owner)} entries for {n_computes} compute steps"
+        )
+    if len(owner) and min(owner) < 0:
+        raise ConfigurationError("owner indices must be >= 0")
+    top = (max(owner) + 1) if len(owner) else 1
+    if p is None:
+        p = top
+    elif p < top:
+        raise ConfigurationError(f"owner references node {top - 1} but p = {p}")
+
+    # live[key] = (epoch load position, users, writers); epoch_use[(pos, q)]
+    # accumulates the flats node q uses from the load at original position
+    # ``pos`` (one matrix per load step, recorded in epoch_matrix).
+    live: dict[tuple[str, int], tuple[int, set[int], set[int]]] = {}
+    epoch_use: dict[tuple[int, int], set[int]] = {}
+    epoch_matrix: dict[int, str] = {}
+    placed: list[list[tuple[int, int, Step]]] = [[] for _ in range(p)]
+    seq = 0
+
+    def place_evicts(
+        pos: int, matrix: str, per_node: dict[int, tuple[list[int], list[int]]]
+    ) -> None:
+        nonlocal seq
+        for q, (clean, dirty) in sorted(per_node.items()):
+            for flats, wb in ((clean, False), (dirty, True)):
+                if flats:
+                    region = Region(matrix, np.sort(np.asarray(flats, dtype=np.int64)))
+                    placed[q].append((pos, seq, EvictStep(region, wb)))
+                    seq += 1
+
+    op_index = 0
+    for pos, step in enumerate(schedule.steps):
+        if isinstance(step, LoadStep):
+            epoch_matrix[pos] = step.region.matrix
+            for flat in step.region.flat.tolist():
+                key = (step.region.matrix, flat)
+                if key in live:
+                    raise ScheduleError(
+                        f"step {pos}: redundant load of resident element {key}"
+                    )
+                live[key] = (pos, set(), set())
+        elif isinstance(step, ComputeStep):
+            q = int(owner[op_index])
+            op_index += 1
+            placed[q].append((pos, seq, step))
+            seq += 1
+            op = step.op
+            for regions, writes in ((op.reads(), False), (op.writes(), True)):
+                for region in regions:
+                    for flat in region.flat.tolist():
+                        key = (region.matrix, flat)
+                        try:
+                            epoch, users, writers = live[key]
+                        except KeyError:
+                            raise ScheduleError(
+                                f"step {pos}: compute touches non-resident element {key}"
+                            ) from None
+                        users.add(q)
+                        if writes:
+                            writers.add(q)
+                        epoch_use.setdefault((epoch, q), set()).add(flat)
+        elif isinstance(step, EvictStep):
+            per_node: dict[int, tuple[list[int], list[int]]] = {}
+            for flat in step.region.flat.tolist():
+                key = (step.region.matrix, flat)
+                try:
+                    _epoch, users, writers = live.pop(key)
+                except KeyError:
+                    raise ScheduleError(
+                        f"step {pos}: evict of non-resident element {key}"
+                    ) from None
+                for q in users:
+                    clean, dirty = per_node.setdefault(q, ([], []))
+                    (dirty if step.writeback and q in writers else clean).append(flat)
+            place_evicts(pos, step.region.matrix, per_node)
+        else:  # pragma: no cover - defensive
+            raise ScheduleError(f"step {pos}: unknown step type {type(step).__name__}")
+
+    # Flush anything still live (recorded schedules end empty, but stay total).
+    leftovers: dict[str, dict[int, tuple[list[int], list[int]]]] = {}
+    for (matrix, flat), (_epoch, users, writers) in live.items():
+        for q in users:
+            clean, dirty = leftovers.setdefault(matrix, {}).setdefault(q, ([], []))
+            (dirty if q in writers else clean).append(flat)
+    for matrix, per_node in leftovers.items():
+        place_evicts(len(schedule.steps), matrix, per_node)
+
+    # Materialize each node's loads at the original load positions.
+    for (epoch, q), flats in epoch_use.items():
+        region = Region(
+            epoch_matrix[epoch],
+            np.sort(np.fromiter(flats, dtype=np.int64, count=len(flats))),
+        )
+        placed[q].append((epoch, -1, LoadStep(region)))
+
+    shards = []
+    for steps in placed:
+        steps.sort(key=lambda t: (t[0], t[1]))
+        shards.append(Schedule(steps=[s for _, _, s in steps], shapes=dict(schedule.shapes)))
+    return shards
+
+
+# ---------------------------------------------------------------------- #
+# the executor
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardReport:
+    """Communication/work accounting for one node's shard."""
+
+    node: int
+    n_ops: int
+    recv: int            # elements loaded by the node's replay (receives)
+    send: int            # elements stored by the node's replay (sends)
+    transfer_in: int     # cross-shard elements received from peer nodes
+    transfer_out: int    # cross-shard elements sent to peer nodes
+    mults: int
+    peak_memory: int
+
+    @property
+    def total_comm(self) -> int:
+        """Both directions of the node's boundary traffic."""
+        return self.recv + self.send
+
+
+@dataclass(frozen=True)
+class ExecutorSummary:
+    """Fleet-level summary of one sharded DAG execution.
+
+    Statistics follow the guarded conventions of
+    :class:`~repro.parallel.simulate.ParallelSummary`: empty fleets and
+    idle shards yield neutral values instead of raising.
+    """
+
+    p: int
+    s: int
+    policy: str
+    partitioner: str
+    n_ops: int
+    critical_path: int
+    cut_edge_count: int
+    owner: tuple[int, ...]
+    shards: tuple[ShardReport, ...]
+
+    @property
+    def max_recv(self) -> int:
+        return max((r.recv for r in self.shards), default=0)
+
+    @property
+    def mean_recv(self) -> float:
+        return fleet_mean([r.recv for r in self.shards])
+
+    @property
+    def max_send(self) -> int:
+        return max((r.send for r in self.shards), default=0)
+
+    @property
+    def max_recv_incl_transfers(self) -> int:
+        """Receives plus peer transfers — the conservative per-node charge.
+
+        A node's replay loads already include the first receive of every
+        peer-produced element; adding ``transfer_in`` on top also charges
+        the forwarding hop explicitly, an upper estimate that can never
+        under-state the cross-node traffic.
+        """
+        return max((r.recv + r.transfer_in for r in self.shards), default=0)
+
+    @property
+    def total_recv(self) -> int:
+        return sum(r.recv for r in self.shards)
+
+    @property
+    def total_transfer(self) -> int:
+        """Node-to-node elements (each counted once per src/dst shard pair)."""
+        return sum(r.transfer_in for r in self.shards)
+
+    @property
+    def total_mults(self) -> int:
+        return sum(r.mults for r in self.shards)
+
+    @property
+    def compute_imbalance(self) -> float:
+        return fleet_imbalance([r.mults for r in self.shards])
+
+    @property
+    def peak_ok(self) -> bool:
+        return all(r.peak_memory <= self.s for r in self.shards)
+
+
+def _shard_counts_trace(
+    sub: CompiledTrace, s: int, policy: str
+) -> tuple[int, int, int]:
+    """(recv, send, peak) of one shard replayed by the compiled-trace engine."""
+    if policy == "rewrite":
+        sched = rewrite_trace(sub, s)
+        summary = validate_schedule(sched, s)
+        return summary["loads"], summary["stores"], summary["peak_occupancy"]
+    replay = lru_replay_trace if policy == "lru" else belady_replay_trace
+    r = replay(sub, s)
+    # r.distinct is the *parent* interning's element count (sub-traces share
+    # it), so the shard's own working set must be counted here.
+    distinct = int(np.unique(sub.elem_ids).size)
+    return r.loads, r.stores, min(s, distinct)
+
+
+def execute_graph(
+    source: Schedule | CompiledTrace,
+    p: int,
+    s: int,
+    *,
+    partitioner: str = "level-greedy",
+    policy: str = "rewrite",
+    owner: Sequence[int] | None = None,
+    graph: DependencyGraph | None = None,
+) -> ExecutorSummary:
+    """Partition ``source``'s task DAG across ``p`` nodes and replay each shard.
+
+    ``source`` is a recorded schedule or its compiled trace; the DAG is
+    extracted once (or passed in via ``graph``, which must carry the same
+    trace).  ``owner`` overrides the partitioner with an explicit op-to-node
+    map — e.g. :func:`owner_from_assignment` for the SYRK cross-check.
+    The ``"explicit"`` policy shards the recorded load/evict stream itself
+    and therefore requires ``source`` to be a :class:`Schedule`.
+    """
+    if s < 1:
+        raise ConfigurationError(f"S must be >= 1, got {s}")
+    if policy not in POLICIES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; choose from {', '.join(POLICIES)}"
+        )
+    if policy == "explicit" and not isinstance(source, Schedule):
+        raise ConfigurationError(
+            "policy='explicit' shards the recorded load/evict steps and "
+            "needs a Schedule, not a bare trace"
+        )
+    if graph is not None and graph.trace is not None:
+        trace = graph.trace  # reuse the compiled trace across sweep calls
+        if isinstance(source, CompiledTrace) and source is not trace:
+            raise ConfigurationError(
+                "graph was built from a different trace than `source`; "
+                "pass the graph extracted from this trace"
+            )
+    else:
+        trace = compile_trace(source)
+    if graph is None:
+        graph = DependencyGraph.from_trace(trace)
+    elif len(graph) != trace.n_ops:
+        raise ConfigurationError(
+            f"graph has {len(graph)} ops but the trace has {trace.n_ops}; "
+            "pass the graph extracted from this source"
+        )
+    if isinstance(source, Schedule):
+        # Compiling shares op objects with the schedule, so identity (not
+        # just count) pins graph/trace and source to the same recorded run.
+        ops = [s.op for s in source.steps if isinstance(s, ComputeStep)]
+        same = (
+            trace.ops is not None
+            and len(ops) == trace.n_ops
+            and all(a is b for a, b in zip(ops, trace.ops))
+        )
+        if not same:
+            raise ConfigurationError(
+                f"source schedule ({len(ops)} compute steps) and the "
+                f"graph/trace ({trace.n_ops} ops) must describe the same "
+                "recorded run"
+            )
+    if owner is None:
+        owner = partition_graph(graph, p, partitioner)
+    else:
+        owner = [int(q) for q in owner]
+        partitioner = "explicit-owner"
+        if len(owner) != len(graph):
+            raise ConfigurationError(
+                f"owner has {len(owner)} entries for {len(graph)} ops"
+            )
+        if owner and not (0 <= min(owner) and max(owner) < p):
+            raise ConfigurationError(f"owner indices must lie in 0..{p - 1}")
+
+    shard_ops: list[list[int]] = [[] for _ in range(p)]
+    for v, q in enumerate(owner):
+        shard_ops[q].append(v)  # original order == topological per shard
+
+    cut = graph.cut_edges(owner)
+    flows = graph.cut_transfers(owner, cut=cut)
+    transfer_in = [0] * p
+    transfer_out = [0] * p
+    for (src, dst), elems in flows.items():
+        transfer_out[src] += len(elems)
+        transfer_in[dst] += len(elems)
+
+    explicit_shards = shard_schedule(source, owner, p) if policy == "explicit" else None
+
+    reports = []
+    for q in range(p):
+        ops = shard_ops[q]
+        mults = sum(int(graph.nodes[v].op.mults) for v in ops)
+        if explicit_shards is not None:
+            m = TwoLevelMachine(s, strict=False, numerics=False)
+            for name, shape in trace.shapes.items():
+                m.add_matrix(name, np.zeros(shape))
+            for step in explicit_shards[q].steps:
+                if isinstance(step, LoadStep):
+                    m.load(step.region)
+                elif isinstance(step, EvictStep):
+                    m.evict(step.region, writeback=step.writeback)
+                else:
+                    m.compute(step.op)
+            m.assert_empty()
+            recv, send, peak = m.stats.loads, m.stats.stores, m.stats.peak_occupancy
+        elif not ops:
+            recv = send = peak = 0
+        else:
+            recv, send, peak = _shard_counts_trace(trace.select_ops(ops), s, policy)
+        reports.append(
+            ShardReport(
+                node=q,
+                n_ops=len(ops),
+                recv=int(recv),
+                send=int(send),
+                transfer_in=transfer_in[q],
+                transfer_out=transfer_out[q],
+                mults=mults,
+                peak_memory=int(peak),
+            )
+        )
+    return ExecutorSummary(
+        p=p,
+        s=s,
+        policy=policy,
+        partitioner=partitioner,
+        n_ops=len(graph),
+        critical_path=graph.critical_path_length(),
+        cut_edge_count=len(cut),
+        owner=tuple(owner),
+        shards=tuple(reports),
+    )

@@ -96,15 +96,46 @@ class NodeAssignment:
         return seen == want
 
 
+def deal_least_loaded(
+    weights: "list[int]",
+    p: int,
+    start: int = 0,
+    loads: "list[int] | None" = None,
+) -> list[int]:
+    """Greedy load balancing: assign each item to the least-loaded node.
+
+    Items are taken largest-weight-first; ties on load are broken
+    round-robin from ``start``, so equally-loaded nodes fill in rotating
+    order ``start, start+1, ...`` rather than always from node 0.  (The
+    ``start`` offset used to be accepted and silently ignored by ``_deal``,
+    and the low-index bias meant that when ``p`` does not divide the item
+    count the surplus items all piled onto the first nodes.)  Largest-first
+    greedy keeps the per-node load spread within one item of the mean for
+    uniform weights.
+
+    ``loads`` carries running per-node loads across calls (mutated in
+    place) — the DAG executor's level-greedy partitioner deals one
+    antichain level at a time against fleet-wide totals.  Returns the
+    target node of every item, in input order.
+    """
+    check_positive("p", p)
+    if loads is None:
+        loads = [0] * p
+    targets = [0] * len(weights)
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for r, i in enumerate(order):
+        target = min(range(p), key=lambda q: (loads[q], (q - start - r) % p))
+        targets[i] = target
+        loads[target] += weights[i]
+    return targets
+
+
 def _deal(items: list[BlockSpec], p: int, start: int = 0) -> list[list[BlockSpec]]:
-    """Round-robin dealing of blocks to nodes, largest-first for balance."""
+    """Deal blocks to nodes via :func:`deal_least_loaded` on pair counts."""
+    targets = deal_least_loaded([b.n_pairs() for b in items], p, start)
     nodes: list[list[BlockSpec]] = [[] for _ in range(p)]
-    order = sorted(items, key=lambda b: -b.n_pairs())
-    loads = [0] * p
-    for block in order:
-        target = min(range(p), key=lambda q: loads[q])
+    for block, target in zip(items, targets):
         nodes[target].append(block)
-        loads[target] += block.n_pairs()
     return nodes
 
 

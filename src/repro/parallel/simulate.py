@@ -4,8 +4,10 @@ Each node executes its assigned blocks on its own two-level counting
 machine (fast memory ``S``): hold the block's C piece, stream the needed
 ``A`` segments column by column — every load is a *receive* from the rest
 of the machine (the "slow memory" of §2.2's equivalence).  The result-matrix
-traffic is counted separately (each C element is received and sent back
-exactly once by whichever node owns it).
+traffic is counted separately and in both directions: each C element is
+received (``c_recv``) and sent back (``c_send``, the writeback eviction)
+exactly once by whichever node owns it, so total communication volume is
+recv- and send-complete.
 
 The quantity of interest is the **maximum per-node receive volume** —
 parallel lower bounds (Irony et al., Kwasniewski et al., quoted in §2.2)
@@ -21,7 +23,27 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..machine.machine import TwoLevelMachine
 from ..sched.ops import OuterColsUpdate, TriangleUpdate
+from ..sched.schedule import Schedule, record_schedule
 from .partition import BlockSpec, NodeAssignment
+
+
+def fleet_mean(values: "list[int]") -> float:
+    """Mean over nodes; an empty fleet averages to 0.0 instead of raising."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def fleet_imbalance(values: "list[int]") -> float:
+    """max / mean over nodes (1.0 = perfect balance).
+
+    The single source of the idle-fleet convention shared by
+    :class:`ParallelSummary` and the executor's summary: an empty or
+    all-zero fleet is perfectly balanced by definition, so those cases
+    return exactly 1.0.
+    """
+    mean = fleet_mean(values)
+    if not mean:
+        return 1.0
+    return max(values) / mean
 
 
 @dataclass(frozen=True)
@@ -34,15 +56,27 @@ class NodeReport:
     c_recv: int          # C elements received (owned output pieces)
     mults: int
     peak_memory: int
+    c_send: int = 0      # C elements sent back (writeback evictions)
 
     @property
     def total_recv(self) -> int:
         return self.a_recv + self.c_recv
 
+    @property
+    def total_comm(self) -> int:
+        """Both directions: receives plus result elements sent back."""
+        return self.total_recv + self.c_send
+
 
 @dataclass(frozen=True)
 class ParallelSummary:
-    """Fleet-level summary of a simulated distributed SYRK."""
+    """Fleet-level summary of a simulated distributed SYRK.
+
+    All statistics are total functions: an empty node list (or a fleet of
+    idle nodes) yields the neutral values ``0`` / ``0.0`` / ``1.0`` rather
+    than raising, so degenerate assignments (``p`` larger than the block
+    count, zero-work shards) summarize cleanly.
+    """
 
     strategy: str
     n: int
@@ -53,26 +87,32 @@ class ParallelSummary:
 
     @property
     def max_recv(self) -> int:
-        return max(r.total_recv for r in self.nodes)
+        return max((r.total_recv for r in self.nodes), default=0)
 
     @property
     def max_a_recv(self) -> int:
-        return max(r.a_recv for r in self.nodes)
+        return max((r.a_recv for r in self.nodes), default=0)
+
+    @property
+    def max_send(self) -> int:
+        return max((r.c_send for r in self.nodes), default=0)
 
     @property
     def mean_recv(self) -> float:
-        return sum(r.total_recv for r in self.nodes) / len(self.nodes)
+        return fleet_mean([r.total_recv for r in self.nodes])
 
     @property
     def compute_imbalance(self) -> float:
-        """max mults / mean mults (1.0 = perfect balance)."""
-        mults = [r.mults for r in self.nodes]
-        mean = sum(mults) / len(mults)
-        return max(mults) / mean if mean else float("inf")
+        """max mults / mean mults (1.0 = perfect balance, idle fleets too)."""
+        return fleet_imbalance([r.mults for r in self.nodes])
 
     @property
     def total_mults(self) -> int:
         return sum(r.mults for r in self.nodes)
+
+    @property
+    def total_c_send(self) -> int:
+        return sum(r.c_send for r in self.nodes)
 
 
 def _run_block(m: TwoLevelMachine, block: BlockSpec, mcols: int) -> None:
@@ -140,6 +180,7 @@ def simulate_syrk(assignment: NodeAssignment, mcols: int) -> ParallelSummary:
                 c_recv=int(m.stats.loads_by_matrix.get("C", 0)),
                 mults=int(m.stats.mults),
                 peak_memory=int(m.stats.peak_occupancy),
+                c_send=int(m.stats.stores_by_matrix.get("C", 0)),
             )
         )
     return ParallelSummary(
@@ -150,3 +191,37 @@ def simulate_syrk(assignment: NodeAssignment, mcols: int) -> ParallelSummary:
         s=assignment.s,
         nodes=tuple(reports),
     )
+
+
+def record_block_schedule(
+    assignment: NodeAssignment, mcols: int
+) -> tuple[Schedule, list[int]]:
+    """Record the fixed block strategy as one flat schedule, plus op owners.
+
+    Runs every node's blocks (in node order) on a single recording machine —
+    each block cleans up after itself, so the concatenation is a legal
+    two-level schedule — and returns the recorded
+    :class:`~repro.sched.schedule.Schedule` together with ``owner``: the node
+    index of every *compute* op, in stream order.  This is the bridge to the
+    task-DAG executor (:mod:`repro.parallel.executor`): sharding the recorded
+    stream by ``owner`` must reproduce :func:`simulate_syrk`'s per-node
+    counts bit for bit, which the test suite asserts.
+    """
+    if mcols < 1:
+        raise ConfigurationError(f"mcols must be >= 1, got {mcols}")
+    n = assignment.n
+    m = TwoLevelMachine(assignment.s, strict=False, numerics=False)
+    m.add_matrix("A", np.zeros((n, mcols)))
+    m.add_matrix("C", np.zeros((n, n)))
+    owner: list[int] = []
+
+    def body() -> None:
+        for node_id, blocks in enumerate(assignment.blocks):
+            before = m.stats.n_computes
+            for block in blocks:
+                _run_block(m, block, mcols)
+            owner.extend([node_id] * (m.stats.n_computes - before))
+
+    schedule = record_schedule(m, body)
+    m.assert_empty()
+    return schedule, owner

@@ -200,6 +200,29 @@ class CompiledTrace:
             raise ConfigurationError(
                 f"order must be a permutation of 0..{self.n_ops - 1}"
             )
+        return self.select_ops(order)
+
+    def select_ops(self, indices: Sequence[int]) -> "CompiledTrace":
+        """The sub-trace of a subset of ops, emitted in the given order.
+
+        This is how the sharded executor slices one compiled trace into
+        per-node shards without recompiling: element interning (IDs, decode
+        tables, ``n_elements``) is shared with the parent, so element IDs
+        of different shards remain directly comparable — the cross-shard
+        transfer accounting depends on that.  Position links and replay
+        caches are *not* shared (next-use is a property of the stream, not
+        the interning); the sub-trace recomputes its own lazily.
+
+        ``indices`` may select any subset in any order, but must not repeat
+        an op.  :meth:`reorder` is the special case of a full permutation.
+        """
+        order = [int(i) for i in indices]
+        if order and (min(order) < 0 or max(order) >= self.n_ops):
+            raise ConfigurationError(
+                f"op indices must lie in 0..{self.n_ops - 1}"
+            )
+        if len(set(order)) != len(order):
+            raise ConfigurationError("op indices must not repeat")
         starts = self.op_starts
         sizes = np.diff(starts)
         gather = np.concatenate(

@@ -1,0 +1,34 @@
+"""A minimal disjoint-set forest (union-find) with path halving.
+
+Shared by :meth:`repro.graph.dependency.DependencyGraph.reduction_classes`
+(grouping accumulations linked by reduction-only edges) and the executor's
+owner-computes partitioner (grouping ops that share written elements), so
+the merge structure lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+
+class DisjointSets:
+    """Union-find over the integers ``0 .. n-1``."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets containing ``a`` and ``b`` (``b``'s root wins)."""
+        self.parent[self.find(a)] = self.find(b)
+
+    def groups(self) -> dict[int, list[int]]:
+        """``root -> members`` (members in ascending order)."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self.parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out

@@ -11,6 +11,7 @@ from repro.core.bounds import (
     max_operational_intensity,
     parallel_cholesky_lower_bound_per_node,
     parallel_gemm_lower_bound_per_node,
+    parallel_syrk_lower_bound_per_node,
     syrk_lower_bound,
     syrk_upper_bound,
 )
@@ -132,6 +133,25 @@ class TestParallelBounds:
         v = parallel_gemm_lower_bound_per_node(10, 20, 30, 2, 16)
         assert v == pytest.approx(10 * 20 * 30 / (2 * SQRT2 * 2 * 4) - 16)
 
+    def test_syrk_per_node(self):
+        v = parallel_syrk_lower_bound_per_node(100, 8, 4, 16)
+        assert v == pytest.approx(100 * 100 * 8 / (SQRT2 * 4 * 4) - 16)
+
+    def test_syrk_per_node_scales_down_with_p(self):
+        assert parallel_syrk_lower_bound_per_node(100, 8, 1, 16) > \
+            parallel_syrk_lower_bound_per_node(100, 8, 8, 16)
+
+    def test_syrk_per_node_p1_matches_sequential_shape(self):
+        # At P = 1 the formula is the sequential Corollary 4.7 minus the
+        # resident-operand slack S.
+        n, m, s = 64, 8, 32
+        seq = syrk_lower_bound(n, m, s)
+        assert parallel_syrk_lower_bound_per_node(n, m, 1, s) == pytest.approx(seq - s)
+
     def test_bad_p(self):
         with pytest.raises(ConfigurationError):
             parallel_cholesky_lower_bound_per_node(10, 0, 4)
+        with pytest.raises(ConfigurationError):
+            parallel_syrk_lower_bound_per_node(10, 4, 0, 4)
+        with pytest.raises(ConfigurationError):
+            parallel_syrk_lower_bound_per_node(10, 0, 2, 4)

@@ -59,6 +59,24 @@ class TestCli:
         assert "RAW" in out and "reschedule:original" in out
         assert "reschedule:fan-out" not in out
 
+    def test_parallel(self, capsys):
+        assert main(
+            ["parallel", "--kernel", "tbs", "--n", "26", "--m", "3", "--s", "15",
+             "--p", "1", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded DAG executor" in out
+        assert "owner-computes" in out and "level-greedy" in out
+        assert "recv/bound" in out and "True" in out
+
+    def test_parallel_single_partitioner_lru(self, capsys):
+        assert main(
+            ["parallel", "--kernel", "chol", "--n", "12", "--m", "0", "--s", "15",
+             "--p", "2", "--partitioners", "locality", "--policy", "lru"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "locality" in out and "level-greedy" not in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -47,6 +47,12 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "reduction" in out and "Belady floor" in out and "bit-identical" in out
 
+    def test_parallel_executor(self, capsys):
+        load_example("parallel_executor").main()
+        out = capsys.readouterr().out
+        assert "owner-computes" in out
+        assert "bit-identical = True" in out
+
     @pytest.mark.slow
     def test_gram_matrix(self, capsys):
         load_example("gram_matrix_out_of_core").main()

@@ -1,0 +1,272 @@
+"""Tests for the sharded task-DAG executor (repro.parallel.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.compare import record_case
+from repro.graph.dependency import DependencyGraph
+from repro.graph.rewriter import rewrite_schedule
+from repro.parallel import (
+    PARTITIONERS,
+    execute_graph,
+    owner_from_assignment,
+    partition_graph,
+    record_block_schedule,
+    shard_schedule,
+    simulate_syrk,
+    square_tile_assignment,
+    triangle_block_assignment,
+)
+from repro.sched.schedule import ComputeStep
+from repro.sched.validate import validate_schedule
+from repro.trace.replay import belady_replay_trace, lru_replay_trace
+
+N, M, S = 33, 4, 15
+
+
+@pytest.fixture(scope="module")
+def tbs_case():
+    return record_case("tbs", N, M, S)
+
+
+@pytest.fixture(scope="module")
+def tbs_graph(tbs_case):
+    return DependencyGraph.from_trace(tbs_case.trace)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("heuristic", PARTITIONERS)
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_every_op_assigned_once(self, tbs_graph, heuristic, p):
+        owner = partition_graph(tbs_graph, p, heuristic)
+        assert len(owner) == len(tbs_graph)
+        assert set(owner) <= set(range(p))
+
+    @pytest.mark.parametrize("heuristic", PARTITIONERS)
+    def test_p1_is_trivial(self, tbs_graph, heuristic):
+        assert partition_graph(tbs_graph, 1, heuristic) == [0] * len(tbs_graph)
+
+    def test_level_greedy_uses_antichains(self, tbs_graph):
+        # ops at equal depth are mutually independent; the partitioner may
+        # spread any level across nodes without violating an edge
+        owner = partition_graph(tbs_graph, 4, "level-greedy")
+        depth = tbs_graph.depths()
+        for u, v, _kinds in tbs_graph.edges():
+            assert depth[u] < depth[v]
+        assert len(set(owner)) == 4
+
+    def test_owner_computes_never_splits_writers(self, tbs_graph):
+        owner = partition_graph(tbs_graph, 4, "owner-computes")
+        elem_writer: dict[int, int] = {}
+        for v, node in enumerate(tbs_graph.nodes):
+            for key in node.write_keys:
+                assert elem_writer.setdefault(key, owner[v]) == owner[v]
+
+    def test_owner_computes_zero_cut_for_syrk(self, tbs_graph):
+        owner = partition_graph(tbs_graph, 4, "owner-computes")
+        assert tbs_graph.cut_edges(owner) == []
+        assert tbs_graph.cut_transfers(owner) == {}
+
+    def test_locality_respects_balance_slack(self, tbs_graph):
+        owner = partition_graph(tbs_graph, 4, "locality")
+        mults = [0] * 4
+        for v, node in enumerate(tbs_graph.nodes):
+            mults[owner[v]] += max(int(node.op.mults), 1)
+        assert max(mults) <= 1.2 * sum(mults) / 4 + max(
+            max(int(n.op.mults), 1) for n in tbs_graph.nodes
+        )
+
+    def test_bad_args(self, tbs_graph):
+        with pytest.raises(ConfigurationError):
+            partition_graph(tbs_graph, 0)
+        with pytest.raises(ConfigurationError):
+            partition_graph(tbs_graph, 2, "random")
+
+
+class TestCutAccounting:
+    def test_cut_edges_vs_manual(self, tbs_graph):
+        owner = partition_graph(tbs_graph, 4, "level-greedy")
+        cut = tbs_graph.cut_edges(owner)
+        expected = [(u, v, k) for u, v, k in tbs_graph.edges() if owner[u] != owner[v]]
+        assert cut == expected
+
+    def test_cut_transfers_elements_are_shared_writes(self, tbs_graph):
+        owner = partition_graph(tbs_graph, 4, "level-greedy")
+        flows = tbs_graph.cut_transfers(owner)
+        for (src, dst), elems in flows.items():
+            assert src != dst
+            produced = set()
+            for v, node in enumerate(tbs_graph.nodes):
+                if owner[v] == src:
+                    produced |= node.write_keys
+            assert elems <= produced
+
+    def test_owner_length_checked(self, tbs_graph):
+        with pytest.raises(ConfigurationError):
+            tbs_graph.cut_edges([0])
+
+
+class TestExecutorSingleNode:
+    def test_p1_rewrite_matches_single_node_optimum(self, tbs_case):
+        summ = execute_graph(tbs_case.schedule, 1, S, policy="rewrite")
+        base = rewrite_schedule(tbs_case.trace, S)
+        assert (summ.shards[0].recv, summ.shards[0].send) == (base.loads, base.stores)
+        assert summ.peak_ok
+
+    @pytest.mark.parametrize("policy,replay", [
+        ("lru", lru_replay_trace), ("belady", belady_replay_trace),
+    ])
+    def test_p1_counting_policies_bit_identical(self, tbs_case, policy, replay):
+        summ = execute_graph(tbs_case.schedule, 1, S, policy=policy)
+        ref = replay(tbs_case.trace, S)
+        assert (summ.shards[0].recv, summ.shards[0].send) == (ref.loads, ref.stores)
+
+
+class TestExecutorSharded:
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_peak_within_s_and_work_conserved(self, tbs_case, tbs_graph, p, partitioner):
+        summ = execute_graph(
+            tbs_case.schedule, p, S, partitioner=partitioner, policy="rewrite",
+            graph=tbs_graph,
+        )
+        assert summ.peak_ok
+        assert sum(r.n_ops for r in summ.shards) == len(tbs_graph)
+        assert summ.total_mults == sum(int(n.op.mults) for n in tbs_graph.nodes)
+        assert summ.compute_imbalance >= 1.0
+
+    def test_transfer_totals_match_flows(self, tbs_case, tbs_graph):
+        summ = execute_graph(tbs_case.schedule, 4, S, partitioner="level-greedy",
+                             policy="lru", graph=tbs_graph)
+        flows = tbs_graph.cut_transfers(list(summ.owner))
+        assert summ.total_transfer == sum(len(e) for e in flows.values())
+        assert sum(r.transfer_out for r in summ.shards) == summ.total_transfer
+        assert summ.max_recv_incl_transfers >= summ.max_recv
+
+    def test_empty_shards_report_zero(self, tbs_case):
+        # more nodes than ops is legal; idle shards report zeros
+        p = len(DependencyGraph.from_trace(tbs_case.trace)) + 3
+        summ = execute_graph(tbs_case.schedule, p, S, partitioner="level-greedy",
+                             policy="lru")
+        idle = [r for r in summ.shards if r.n_ops == 0]
+        assert idle and all(r.recv == r.send == r.peak_memory == 0 for r in idle)
+        assert summ.peak_ok
+
+    def test_chol_case_executes(self):
+        case = record_case("chol", 16, 0, S)
+        summ = execute_graph(case.schedule, 4, S, partitioner="locality",
+                             policy="rewrite")
+        assert summ.peak_ok
+        # every distinct element must be received by at least one shard
+        assert summ.total_recv >= case.trace.n_elements
+        assert sum(r.n_ops for r in summ.shards) == summ.n_ops
+
+    def test_explicit_owner_roundtrip(self, tbs_case, tbs_graph):
+        owner = partition_graph(tbs_graph, 3, "owner-computes")
+        summ = execute_graph(tbs_case.schedule, 3, S, owner=owner, policy="lru",
+                             graph=tbs_graph)
+        assert summ.owner == tuple(owner)
+        assert summ.partitioner == "explicit-owner"
+
+    def test_mismatched_graph_rejected(self, tbs_case):
+        # Regression: a graph from a different recording used to silently
+        # truncate the replay instead of raising.
+        other = record_case("tbs", 20, 2, S)
+        small_graph = DependencyGraph.from_trace(other.trace)
+        with pytest.raises(ConfigurationError, match="same recorded run"):
+            execute_graph(tbs_case.schedule, 2, S, graph=small_graph)
+
+    def test_graph_trace_reused(self, tbs_case, tbs_graph):
+        summ = execute_graph(tbs_case.schedule, 2, S, policy="lru", graph=tbs_graph)
+        direct = execute_graph(tbs_case.trace, 2, S, policy="lru", graph=tbs_graph)
+        assert [(r.recv, r.send) for r in summ.shards] == \
+            [(r.recv, r.send) for r in direct.shards]
+
+    def test_bad_args(self, tbs_case):
+        with pytest.raises(ConfigurationError):
+            execute_graph(tbs_case.schedule, 2, 0)
+        with pytest.raises(ConfigurationError):
+            execute_graph(tbs_case.schedule, 2, S, policy="magic")
+        with pytest.raises(ConfigurationError):
+            execute_graph(tbs_case.trace, 2, S, policy="explicit")
+        with pytest.raises(ConfigurationError):
+            execute_graph(tbs_case.schedule, 2, S, owner=[0])
+        with pytest.raises(ConfigurationError):
+            execute_graph(tbs_case.schedule, 2, S,
+                          owner=[5] * len(tbs_case.trace.ops))
+
+
+class TestExplicitSharding:
+    @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
+    def test_bit_identical_to_simulate_syrk(self, mk):
+        n, p, m = 40, 4, 3
+        asg = mk(n, p, S)
+        sched, owner = record_block_schedule(asg, m)
+        fixed = simulate_syrk(asg, m)
+        summ = execute_graph(sched, p, S, owner=owner, policy="explicit")
+        for sr, nr in zip(summ.shards, fixed.nodes):
+            assert sr.recv == nr.total_recv
+            assert sr.send == nr.c_send
+            assert sr.mults == nr.mults
+            assert sr.peak_memory == nr.peak_memory
+
+    def test_owner_from_assignment_matches_recorded_owner(self):
+        asg = triangle_block_assignment(30, 3, S)
+        sched, owner = record_block_schedule(asg, 3)
+        graph = DependencyGraph.from_schedule(sched)
+        derived = owner_from_assignment(graph, asg)
+        assert derived == owner
+
+    def test_shards_are_valid_schedules(self):
+        asg = square_tile_assignment(24, 3, S)
+        sched, owner = record_block_schedule(asg, 3)
+        shards = shard_schedule(sched, owner)
+        assert len(shards) == 3
+        for shard in shards:
+            validate_schedule(shard, S)
+        # per-node computes partition the original stream
+        total = sum(
+            sum(1 for s in shard.steps if isinstance(s, ComputeStep))
+            for shard in shards
+        )
+        assert total == len(owner)
+
+    def test_shard_volume_partitions_original(self):
+        # every load of the recorded block strategy serves exactly one node,
+        # so the per-node volumes sum to the original's
+        asg = triangle_block_assignment(30, 4, S)
+        sched, owner = record_block_schedule(asg, 3)
+        shards = shard_schedule(sched, owner)
+        loads, stores = sched.io_volume()
+        shard_io = [shard.io_volume() for shard in shards]
+        assert sum(l for l, _ in shard_io) == loads
+        assert sum(st for _, st in shard_io) == stores
+
+    def test_owner_length_mismatch(self):
+        asg = square_tile_assignment(12, 2, S)
+        sched, owner = record_block_schedule(asg, 2)
+        with pytest.raises(ConfigurationError):
+            shard_schedule(sched, owner[:-1])
+
+    def test_idle_top_nodes_report_zero(self):
+        # Regression: p larger than the highest owner index used to crash
+        # the explicit policy with IndexError instead of reporting idle
+        # shards.
+        asg = square_tile_assignment(12, 2, S)
+        sched, owner = record_block_schedule(asg, 2)
+        summ = execute_graph(sched, 5, S, owner=owner, policy="explicit")
+        assert len(summ.shards) == 5
+        idle = [r for r in summ.shards if r.n_ops == 0]
+        assert len(idle) == 3
+        assert all(r.recv == r.send == r.peak_memory == 0 for r in idle)
+        assert shard_schedule(sched, [0] * len(owner), 3)[2].steps == []
+        with pytest.raises(ConfigurationError):
+            shard_schedule(sched, owner, 1)
+
+    def test_owner_from_assignment_rejects_foreign_schedule(self, tbs_case):
+        # a TBS recording's ops write C pairs spanning several nodes' shares
+        graph = DependencyGraph.from_trace(tbs_case.trace)
+        asg = square_tile_assignment(N, 4, S)
+        with pytest.raises(ConfigurationError):
+            owner_from_assignment(graph, asg)

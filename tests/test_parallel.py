@@ -7,10 +7,16 @@ from repro.errors import ConfigurationError
 from repro.kernels.flops import syrk_mults
 from repro.parallel.partition import (
     BlockSpec,
+    _deal,
     square_tile_assignment,
     triangle_block_assignment,
 )
-from repro.parallel.simulate import simulate_syrk
+from repro.parallel.simulate import (
+    NodeReport,
+    ParallelSummary,
+    record_block_schedule,
+    simulate_syrk,
+)
 
 
 class TestBlockSpec:
@@ -72,6 +78,39 @@ class TestAssignments:
             triangle_block_assignment(10, 0, 15)
 
 
+class TestDealBalance:
+    """Regression: `_deal` used to ignore its `start` offset and break ties
+    toward low-index nodes, piling the surplus onto the first nodes when
+    ``p`` does not divide the item count."""
+
+    @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
+    @pytest.mark.parametrize("n,p", [(25, 3), (34, 5), (41, 6), (53, 7), (62, 9)])
+    def test_non_divisible_cover_and_spread(self, mk, n, p):
+        asg = mk(n, p, 15)
+        assert asg.validate_exact_cover()
+        counts = asg.node_pair_counts()
+        assert len(counts) == p
+        # largest-first greedy: spread stays within one (largest) block
+        biggest = max(b.n_pairs() for node in asg.blocks for b in node)
+        assert max(counts) - min(counts) <= biggest
+
+    def test_equal_items_rotate_from_start(self):
+        items = [BlockSpec("rect", (i,), (0,)) for i in range(5)]
+        dealt = _deal(items, 3, start=1)
+        # 5 equal items over 3 nodes: surplus lands round-robin from `start`
+        assert [len(node) for node in dealt] == [1, 2, 2]
+        assert sorted(b.rows_i[0] for node in dealt for b in node) == list(range(5))
+
+    def test_equal_items_default_start(self):
+        items = [BlockSpec("rect", (i,), (0,)) for i in range(7)]
+        dealt = _deal(items, 4)
+        assert sorted(len(node) for node in dealt) == [1, 2, 2, 2]
+
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            _deal([], 0)
+
+
 class TestSimulation:
     @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
     def test_work_conserved_and_memory_respected(self, mk):
@@ -110,3 +149,72 @@ class TestSimulation:
     def test_bad_mcols(self):
         with pytest.raises(ConfigurationError):
             simulate_syrk(square_tile_assignment(10, 2, 15), 0)
+
+    @pytest.mark.parametrize("mk", [square_tile_assignment, triangle_block_assignment])
+    def test_recv_send_symmetry(self, mk):
+        # The docstring's promise, now surfaced: every owned C element is
+        # received once and sent back once — per node, not just in total.
+        n, p, s, m = 48, 4, 15, 6
+        summ = simulate_syrk(mk(n, p, s), m)
+        for r in summ.nodes:
+            assert r.c_send == r.c_recv
+            assert r.total_comm == r.total_recv + r.c_send
+        assert summ.total_c_send == n * (n + 1) // 2
+        assert summ.max_send >= 1
+
+    def test_zero_block_nodes_summarize(self):
+        # p far beyond the block count: some nodes stay idle; every summary
+        # statistic must still be well-defined.
+        summ = simulate_syrk(square_tile_assignment(6, 5, 15), 2)
+        assert any(r.n_blocks == 0 for r in summ.nodes)
+        assert summ.mean_recv > 0.0
+        assert summ.compute_imbalance >= 1.0
+        assert summ.max_recv >= summ.mean_recv
+
+
+class TestSummaryGuards:
+    """Regression: mean_recv / compute_imbalance crashed on an empty node
+    list and compute_imbalance returned inf for an all-idle fleet."""
+
+    def test_empty_summary(self):
+        summ = ParallelSummary(strategy="square", n=0, m=1, p=0, s=15, nodes=())
+        assert summ.mean_recv == 0.0
+        assert summ.max_recv == 0
+        assert summ.max_a_recv == 0
+        assert summ.max_send == 0
+        assert summ.compute_imbalance == 1.0
+        assert summ.total_mults == 0
+        assert summ.total_c_send == 0
+
+    def test_all_idle_fleet_is_balanced(self):
+        idle = tuple(
+            NodeReport(node=q, n_blocks=0, a_recv=0, c_recv=0, mults=0, peak_memory=0)
+            for q in range(3)
+        )
+        summ = ParallelSummary(strategy="square", n=4, m=1, p=3, s=15, nodes=idle)
+        assert summ.compute_imbalance == 1.0
+        assert summ.mean_recv == 0.0
+
+    def test_node_report_defaults_send_to_zero(self):
+        r = NodeReport(node=0, n_blocks=1, a_recv=3, c_recv=2, mults=5, peak_memory=4)
+        assert r.c_send == 0 and r.total_comm == r.total_recv == 5
+
+
+class TestRecordBlockSchedule:
+    def test_owner_covers_all_computes_and_replays(self):
+        from repro.sched.schedule import ComputeStep
+
+        asg = triangle_block_assignment(30, 3, 15)
+        sched, owner = record_block_schedule(asg, 4)
+        n_computes = sum(1 for s in sched.steps if isinstance(s, ComputeStep))
+        assert len(owner) == n_computes
+        assert set(owner) <= set(range(3))
+        # the recorded stream's total volume equals the fleet's summed volume
+        fixed = simulate_syrk(asg, 4)
+        loads, stores = sched.io_volume()
+        assert loads == sum(r.total_recv for r in fixed.nodes)
+        assert stores == fixed.total_c_send
+
+    def test_bad_mcols(self):
+        with pytest.raises(ConfigurationError):
+            record_block_schedule(square_tile_assignment(10, 2, 15), 0)

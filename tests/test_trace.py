@@ -137,6 +137,55 @@ class TestCompiledTrace:
         with pytest.raises(ConfigurationError, match="permutation"):
             trace.reorder([0] * trace.n_ops)
 
+    def test_select_ops_matches_recompilation(self, sched):
+        trace = compile_trace(sched)
+        subset = list(range(0, trace.n_ops, 3))
+        sub = trace.select_ops(subset)
+        direct = compile_trace([trace.ops[i] for i in subset])
+        assert sub.to_access_sequence() == direct.to_access_sequence()
+        assert sub.ops == [trace.ops[i] for i in subset]
+        # interning is shared with the parent, not recompiled
+        assert sub.n_elements == trace.n_elements
+        assert sub.key_flat is trace.key_flat
+
+    def test_select_ops_shards_partition_the_stream(self, sched):
+        trace = compile_trace(sched)
+        shards = [list(range(q, trace.n_ops, 4)) for q in range(4)]
+        subs = [trace.select_ops(s) for s in shards]
+        assert sum(t.n_accesses for t in subs) == trace.n_accesses
+        # per-op slices are bit-identical to the parent's
+        for ops, sub in zip(shards, subs):
+            for local, i in enumerate(ops):
+                ids, writes = sub.op_slice(local)
+                pids, pwrites = trace.op_slice(i)
+                assert np.array_equal(ids, pids)
+                assert np.array_equal(writes, pwrites)
+
+    def test_select_ops_replay_independent_of_parent(self, sched):
+        # Position links / replay caches must be per-sub-trace, so a shard
+        # replay equals recompiling the same ops from scratch.
+        trace = compile_trace(sched)
+        trace.next_use()  # populate the parent's cache first
+        subset = list(range(trace.n_ops // 2))
+        sub = trace.select_ops(subset)
+        direct = compile_trace([trace.ops[i] for i in subset])
+        for capacity in (7, 15):
+            a = lru_replay_trace(sub, capacity)
+            b = lru_replay_trace(direct, capacity)
+            assert (a.loads, a.stores) == (b.loads, b.stores)
+            a = belady_replay_trace(sub, capacity)
+            b = belady_replay_trace(direct, capacity)
+            assert (a.loads, a.stores) == (b.loads, b.stores)
+
+    def test_select_ops_rejects_bad_indices(self, sched):
+        trace = compile_trace(sched)
+        with pytest.raises(ConfigurationError, match="repeat"):
+            trace.select_ops([0, 0])
+        with pytest.raises(ConfigurationError, match="indices"):
+            trace.select_ops([trace.n_ops])
+        empty = trace.select_ops([])
+        assert empty.n_ops == 0 and empty.n_accesses == 0
+
     def test_empty_ops(self):
         trace = compile_trace([])
         assert trace.n_accesses == trace.n_ops == trace.n_elements == 0

@@ -163,3 +163,23 @@ class TestChecks:
         check_divides("b|n", 4, 12)
         with pytest.raises(ConfigurationError):
             check_divides("b|n", 5, 12)
+
+
+class TestDisjointSets:
+    def test_groups_after_unions(self):
+        from repro.utils.unionfind import DisjointSets
+
+        sets = DisjointSets(6)
+        sets.union(0, 1)
+        sets.union(1, 2)
+        sets.union(4, 5)
+        groups = sorted(sorted(g) for g in sets.groups().values())
+        assert groups == [[0, 1, 2], [3], [4, 5]]
+        assert sets.find(0) == sets.find(2)
+        assert sets.find(3) != sets.find(4)
+
+    def test_singletons(self):
+        from repro.utils.unionfind import DisjointSets
+
+        sets = DisjointSets(3)
+        assert sorted(sets.groups().values()) == [[0], [1], [2]]
