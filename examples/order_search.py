@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Order search: close the explicit-vs-Belady gap the heuristics leave.
+
+The dependency graph of a recorded schedule exposes a space of legal
+compute orders; one-shot greedy heuristics pick a decent point in it, but
+the remaining gap to the Belady floor is a property of the *order* — so
+search for a better one:
+
+1. record the TBS schedule for C += A Aᵀ and extract its task DAG (for
+   SYRK: 0 RAW/WAR/WAW edges, just commuting reduction chains);
+2. run the three search strategies — beam search and lookahead greedy on
+   the incremental LRU objective, simulated annealing over
+   reduction-class interleavings — first keeping reduction order
+   (bit-exact), then relaxed (equal up to FP reassociation);
+3. dress every found order into an explicit, validated load/evict stream
+   and compare its Q against the one-shot heuristics and the Belady
+   floor of the recorded order.
+
+Run:  python examples/order_search.py
+"""
+
+from repro.graph import (
+    STRATEGIES,
+    belady_replay,
+    dependency_graph,
+    record_case,
+    reschedule,
+    rewrite_schedule,
+    search_order,
+)
+from repro.utils.fmt import Table, banner, format_int
+
+N, M, S = 40, 6, 15
+
+
+def main() -> None:
+    print(banner("order search: beyond one-shot scheduling heuristics"))
+    case = record_case("tbs", N, M, S)
+    graph = dependency_graph(case.trace)
+    floor = belady_replay(case.trace, S).loads
+    print(
+        f"recorded {len(graph)} compute ops in "
+        f"{len(graph.reduction_classes())} commuting reduction chains; "
+        f"explicit Q = {case.explicit_loads:,}, "
+        f"Belady floor of that order = {floor:,}"
+    )
+
+    baseline = reschedule(case.trace, S, "locality", graph=graph)
+    print(f"one-shot locality heuristic: Q = {baseline.loads:,} (bit-exact)")
+
+    t = Table(["strategy", "relaxed", "Q (loads)", "Q/belady-floor", "bit-exact"])
+    best_q = baseline.loads
+    for strategy in STRATEGIES:
+        for relax in (False, True):
+            found = search_order(
+                graph, S, strategy, relax_reductions=relax,
+                **({"iters": 400} if strategy == "anneal" else {}),
+            )
+            rw = rewrite_schedule(
+                case.trace, S, found.order, graph=graph, relax_reductions=relax
+            )
+            exact = case.check_exact(rw.schedule)
+            assert exact or relax  # kept reductions must replay bit-identically
+            best_q = min(best_q, rw.loads)
+            t.add_row(
+                [strategy, str(relax), format_int(rw.loads),
+                 f"{rw.loads / floor:.3f}", str(exact)]
+            )
+    print()
+    print(t.render())
+    print()
+    print(f"best searched order: Q = {best_q:,} vs heuristic {baseline.loads:,}")
+    print("Relaxed orders re-interleave commuting += chains (note the zigzag:")
+    print("a reversed chain shares its operand columns with the next chain's")
+    print("head), trading bit-exactness for I/O — the FP difference stays at")
+    print("reassociation level while Q moves toward the floor.")
+
+
+if __name__ == "__main__":
+    main()

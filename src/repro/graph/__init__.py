@@ -7,7 +7,15 @@ into an optimization surface:
   the compute ops (commuting ``+=`` accumulations form relaxable reduction
   classes);
 * :mod:`repro.graph.scheduler` — a worklist list scheduler with pluggable
-  priority heuristics that emits alternative legal total orders;
+  priority heuristics that emits alternative legal total orders, plus the
+  reusable primitives (ready frontier, locality scorer) the search engine
+  builds on;
+* :mod:`repro.graph.objective` — incremental I/O objectives: exact
+  per-candidate miss counts from cache-coupled candidate proposal, and
+  whole-order costs via trace reordering;
+* :mod:`repro.graph.search` — the order-search engine: beam search,
+  lookahead greedy and simulated annealing over reduction-class
+  interleavings, behind ``python -m repro search`` and benchmark E15;
 * :mod:`repro.graph.policies` — Belady/MIN optimal-replacement replay, the
   per-order I/O floor complementing :mod:`repro.analysis.lru_replay`;
 * :mod:`repro.graph.rewriter` — regenerate explicit load/evict streams
@@ -42,7 +50,23 @@ from .rewriter import (
     rewrite_schedule,
     rewrite_trace,
 )
-from .scheduler import HEURISTICS, ListScheduleResult, list_schedule
+from .scheduler import (
+    HEURISTICS,
+    ListScheduleResult,
+    LocalityScore,
+    Worklist,
+    argbest,
+    list_schedule,
+)
+from .objective import IncrementalObjective, element_op_lists, order_cost
+from .search import (
+    STRATEGIES,
+    SearchResult,
+    anneal_search,
+    beam_search,
+    lookahead_search,
+    search_order,
+)
 from .compare import (
     CASES,
     Comparison,
@@ -70,7 +94,19 @@ __all__ = [
     "rewrite_trace",
     "HEURISTICS",
     "ListScheduleResult",
+    "LocalityScore",
+    "Worklist",
+    "argbest",
     "list_schedule",
+    "IncrementalObjective",
+    "element_op_lists",
+    "order_cost",
+    "STRATEGIES",
+    "SearchResult",
+    "anneal_search",
+    "beam_search",
+    "lookahead_search",
+    "search_order",
     "CASES",
     "Comparison",
     "ComparisonRow",

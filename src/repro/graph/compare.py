@@ -7,8 +7,11 @@ holding the *same* input values (for numeric replay checks), and the
 original results to compare against.
 
 :func:`compare_case` produces the full comparison for one case: explicit
-volume, LRU and Belady replays of the original order, and a validated,
-numerically-checked rewrite per scheduling heuristic.
+volume, LRU and Belady replays of the original order, a validated,
+numerically-checked rewrite per scheduling heuristic, and — when asked —
+per search strategy (``search:beam`` / ``search:lookahead`` /
+``search:anneal`` rows, each order found by :mod:`repro.graph.search` and
+dressed into an explicit stream by the same rewriter).
 """
 
 from __future__ import annotations
@@ -31,8 +34,9 @@ from ..trace.compiled import CompiledTrace, compile_trace
 from ..utils.rng import random_spd_matrix, random_tall_matrix
 from .dependency import DependencyGraph
 from .policies import belady_replay
-from .rewriter import RewriteResult, reschedule
+from .rewriter import RewriteResult, reschedule, rewrite_schedule
 from .scheduler import HEURISTICS
+from .search import search_order
 
 #: Kernels the harness can record (name -> human description).
 CASES = {
@@ -170,12 +174,21 @@ def compare_case(
     heuristics: tuple[str, ...] = HEURISTICS,
     *,
     check_numerics: bool = True,
+    search_strategies: tuple[str, ...] = (),
+    relax_reductions: bool = False,
+    search_kwargs: dict | None = None,
 ) -> Comparison:
-    """Explicit vs LRU vs Belady vs rescheduled volumes for one case.
+    """Explicit vs LRU vs Belady vs rescheduled/searched volumes for one case.
 
     The schedule is compiled to the trace IR exactly once; the DAG
-    extraction, both replays and every rewrite consume the same
-    :class:`~repro.trace.compiled.CompiledTrace`.
+    extraction, both replays, every rewrite and every search consume the
+    same :class:`~repro.trace.compiled.CompiledTrace`.  ``search_strategies``
+    names strategies of :mod:`repro.graph.search` to run after the
+    heuristics (rows ``search:<strategy>``); ``relax_reductions`` applies
+    to the searches only (heuristic rows stay bit-exact), and relaxed
+    search rows skip the bit-exactness check (results are then equal only
+    up to FP reassociation — ``exact`` stays ``None``).  ``search_kwargs``
+    maps a strategy name to extra keyword arguments for it.
     """
     trace = case.trace
     graph = DependencyGraph.from_trace(trace)
@@ -198,6 +211,27 @@ def compare_case(
                 rewrite.stores,
                 valid=True,  # reschedule() already ran validate_schedule
                 exact=exact,
+            )
+        )
+    for strategy in search_strategies:
+        kwargs = dict((search_kwargs or {}).get(strategy, {}))
+        kwargs.setdefault("relax_reductions", relax_reductions)
+        found = search_order(graph, case.capacity, strategy, **kwargs)
+        rewrite = rewrite_schedule(
+            trace, case.capacity, found.order, graph=graph,
+            relax_reductions=found.relax_reductions,
+        )
+        rewrite.heuristic = f"search:{strategy}"
+        exact = (
+            case.check_exact(rewrite.schedule)
+            if check_numerics and not found.relax_reductions
+            else None
+        )
+        comp.rewrites[f"search:{strategy}"] = rewrite
+        comp.rows.append(
+            ComparisonRow(
+                f"search:{strategy}", rewrite.loads, rewrite.stores,
+                valid=True, exact=exact,
             )
         )
     return comp

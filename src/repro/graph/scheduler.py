@@ -24,18 +24,131 @@ Heuristics (``HEURISTICS``):
 
 Every heuristic breaks ties by original index, so schedules are
 deterministic and replayable.
+
+The building blocks are exposed as reusable primitives so the order-search
+engine (:mod:`repro.graph.search`) can drive the same machinery
+incrementally: :class:`Worklist` is the copyable ready-frontier state of a
+scheduling pass, :class:`LocalityScore` is the locality heuristic's scoring
+state, and :func:`argbest` is the shared max-score/lowest-index selection
+rule.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from ..errors import ConfigurationError, ScheduleError
 from ..sched.ops import ComputeOp
 from .dependency import DependencyGraph
 
 HEURISTICS = ("original", "depth-first", "locality", "fan-out")
+
+
+def argbest(candidates: Iterable[int], score: Callable[[int], float]) -> int | None:
+    """The candidate with the *highest* score, ties broken by lowest index.
+
+    The selection rule every greedy pass in this package shares.  The
+    guard is explicit — the first candidate wins outright — so the rule
+    never compares a node against an absent ``best`` (the seed locality
+    scheduler leaned on a ``best_score = -1`` sentinel to dodge that
+    comparison, which silently broke for score functions that can go
+    negative).  Returns ``None`` only for an empty candidate set.
+    """
+    best: int | None = None
+    best_score = 0.0
+    for v in candidates:
+        s = score(v)
+        if best is None or s > best_score or (s == best_score and v < best):
+            best, best_score = v, s
+    return best
+
+
+class Worklist:
+    """The copyable ready-frontier state of a list-scheduling pass.
+
+    Tracks per-node unresolved dependence counts and the set of ready
+    nodes under one ``relax_reductions`` setting.  :meth:`emit` retires a
+    ready node and returns the successors it released — the one state
+    transition every scheduling loop (greedy, beam, lookahead rollout)
+    shares.  :meth:`clone` is cheap (one list copy + one set copy), which
+    is what makes beam expansion and lookahead rollouts affordable.
+    """
+
+    __slots__ = ("graph", "relax_reductions", "indeg", "ready")
+
+    def __init__(self, graph: DependencyGraph, *, relax_reductions: bool = False):
+        self.graph = graph
+        self.relax_reductions = relax_reductions
+        self.indeg = graph.indegrees(relax_reductions=relax_reductions)
+        self.ready = {v for v in range(len(graph)) if self.indeg[v] == 0}
+
+    def __len__(self) -> int:
+        return len(self.ready)
+
+    def emit(self, v: int) -> list[int]:
+        """Retire ready node ``v``; returns the newly released successors."""
+        if v not in self.ready:
+            raise ScheduleError(f"node {v} is not ready")
+        self.ready.discard(v)
+        released = []
+        indeg = self.indeg
+        for w in self.graph.effective_succs(v, relax_reductions=self.relax_reductions):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                released.append(w)
+        self.ready.update(released)
+        return released
+
+    def clone(self) -> "Worklist":
+        other = object.__new__(Worklist)
+        other.graph = self.graph
+        other.relax_reductions = self.relax_reductions
+        other.indeg = self.indeg.copy()
+        other.ready = self.ready.copy()
+        return other
+
+
+class LocalityScore:
+    """The locality heuristic's scoring state as a standalone primitive.
+
+    Scores a node by how many of its elements were touched within the
+    last ``window`` emitted ops — a greedy min-next-reuse-distance rule.
+    :meth:`emit` advances the clock; :meth:`clone` lets rollouts score
+    hypothetical futures without disturbing the live state.
+    """
+
+    __slots__ = ("graph", "window", "last_touch", "step")
+
+    def __init__(self, graph: DependencyGraph, window: int = 4):
+        self.graph = graph
+        self.window = window
+        self.last_touch: dict[int, int] = {}
+        self.step = 0
+
+    def score(self, v: int) -> int:
+        floor = self.step - self.window
+        last_touch = self.last_touch
+        score = 0
+        for key in self.graph.nodes[v].touched_keys():
+            if last_touch.get(key, -(10 ** 9)) >= floor:
+                score += 1
+        return score
+
+    def emit(self, v: int) -> None:
+        step = self.step
+        for key in self.graph.nodes[v].touched_keys():
+            self.last_touch[key] = step
+        self.step = step + 1
+
+    def clone(self) -> "LocalityScore":
+        other = object.__new__(LocalityScore)
+        other.graph = self.graph
+        other.window = self.window
+        other.last_touch = self.last_touch.copy()
+        other.step = self.step
+        return other
 
 
 @dataclass
@@ -96,39 +209,23 @@ def _schedule_depth_first(graph: DependencyGraph, indeg: list[int], relax: bool)
 
 def _schedule_locality(
     graph: DependencyGraph,
-    indeg: list[int],
-    relax: bool,
+    worklist: Worklist,
     window: int,
 ) -> list[int]:
     # Greedy reuse-distance rule: score each ready node by how many of its
     # elements were touched within the last ``window`` emitted ops, pick the
-    # max (ties: original index).  O(ready x op-footprint) per emission —
-    # fine at trace scale, and worth it: this is the heuristic that
-    # rediscovers blocked orders from the bare DAG.
-    ready = sorted(v for v in range(len(graph)) if indeg[v] == 0)
-    last_touch: dict[tuple[str, int], int] = {}
+    # max (ties: original index, via argbest's explicit guard — an all-zero
+    # scoring round must still pick the lowest ready index, not trip over an
+    # unset best).  O(ready x op-footprint) per emission — fine at trace
+    # scale, and worth it: this is the heuristic that rediscovers blocked
+    # orders from the bare DAG.
+    scorer = LocalityScore(graph, window)
     order: list[int] = []
-    step = 0
-    while ready:
-        floor = step - window
-        best = None
-        best_score = -1
-        for v in ready:
-            score = 0
-            for key in graph.nodes[v].touched_keys():
-                if last_touch.get(key, -10 ** 9) >= floor:
-                    score += 1
-            if score > best_score or (score == best_score and v < best):
-                best, best_score = v, score
-        ready.remove(best)
+    while worklist.ready:
+        best = argbest(worklist.ready, scorer.score)
+        worklist.emit(best)
+        scorer.emit(best)
         order.append(best)
-        for key in graph.nodes[best].touched_keys():
-            last_touch[key] = step
-        step += 1
-        for w in graph.effective_succs(best, relax_reductions=relax):
-            indeg[w] -= 1
-            if indeg[w] == 0:
-                ready.append(w)
     return order
 
 
@@ -149,16 +246,18 @@ def list_schedule(
         raise ConfigurationError(
             f"unknown heuristic {heuristic!r}; choose from {', '.join(HEURISTICS)}"
         )
-    indeg = graph.indegrees(relax_reductions=relax_reductions)
-    if heuristic == "original":
-        order = _schedule_by_priority(graph, indeg, lambda v: v, relax_reductions)
-    elif heuristic == "depth-first":
-        order = _schedule_depth_first(graph, indeg, relax_reductions)
-    elif heuristic == "locality":
-        order = _schedule_locality(graph, indeg, relax_reductions, locality_window)
-    else:  # fan-out
-        fanout = [len(graph.effective_succs(v, relax_reductions=relax_reductions)) for v in range(len(graph))]
-        order = _schedule_by_priority(graph, indeg, lambda v: (-fanout[v], v), relax_reductions)
+    if heuristic == "locality":
+        worklist = Worklist(graph, relax_reductions=relax_reductions)
+        order = _schedule_locality(graph, worklist, locality_window)
+    else:
+        indeg = graph.indegrees(relax_reductions=relax_reductions)
+        if heuristic == "original":
+            order = _schedule_by_priority(graph, indeg, lambda v: v, relax_reductions)
+        elif heuristic == "depth-first":
+            order = _schedule_depth_first(graph, indeg, relax_reductions)
+        else:  # fan-out
+            fanout = [len(graph.effective_succs(v, relax_reductions=relax_reductions)) for v in range(len(graph))]
+            order = _schedule_by_priority(graph, indeg, lambda v: (-fanout[v], v), relax_reductions)
     if len(order) != len(graph):
         raise ScheduleError(
             f"list scheduler emitted {len(order)} of {len(graph)} nodes — dependence cycle"

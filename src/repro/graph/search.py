@@ -1,0 +1,414 @@
+"""Search over legal compute orders: beam, lookahead greedy, annealing.
+
+The one-shot worklist heuristics (:mod:`repro.graph.scheduler`) close part
+of the explicit-vs-Belady gap; this module closes more of it by actually
+*searching* the order space the dependency graph exposes.  Three
+strategies, one contract — give me a :class:`DependencyGraph` built from a
+compiled trace and a capacity, get back a legal total order plus the LRU
+load count that scored it:
+
+``beam_search``
+    Keep the ``width`` best partial orders; each step, every surviving
+    order is extended with its ``expand`` most promising ready ops
+    (incremental miss counts from
+    :class:`~repro.graph.objective.IncrementalObjective`) and the joint
+    frontier is pruned by accumulated cost — which is always the exact
+    LRU load count of the partial order.  One-shot greedy is the
+    ``width=1, expand=1`` corner.
+
+``lookahead_search``
+    Greedy with rollouts: each candidate next op is evaluated by emitting
+    it on a cloned state and rolling the cheapest-miss rule ``depth``
+    further steps on the trace-level cursor — the op that leads to the
+    cheapest near future wins, not the op that is cheapest right now
+    (which is blind to the eviction damage it causes).
+
+``anneal_search``
+    Simulated annealing over reduction-class interleavings: the
+    neighborhood reverses or rotates short segments of the current order
+    (the moves that re-interleave commuting ``+=`` chains when reduction
+    edges are relaxed), legality is re-checked against the graph for
+    every proposal, and candidate costs are LRU replays of the reordered
+    trace — re-costed from the nearest mid-stream cache checkpoint
+    (:meth:`~repro.trace.replay.LruCursor.snapshot`), never recompiled.
+
+Every strategy is deterministic given its parameters (annealing takes a
+seed) and every returned order is validated against the graph before it
+leaves this module.  Downstream, a returned order is dressed into an
+explicit, validated schedule exactly like a heuristic order
+(:func:`repro.graph.rewriter.rewrite_schedule`), so search results flow
+through the same record→analyze→reschedule harness, CLI and benches.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, ScheduleError
+from ..sched.ops import ComputeOp
+from ..trace.replay import LruCursor
+from .dependency import DependencyGraph
+from .objective import IncrementalObjective, order_cost
+from .scheduler import HEURISTICS, list_schedule
+
+#: Search strategies, in the order the CLI and benches report them.
+STRATEGIES = ("beam", "lookahead", "anneal")
+
+
+@dataclass
+class SearchResult:
+    """A legal total order found by one search strategy, plus its score."""
+
+    graph: DependencyGraph
+    strategy: str
+    relax_reductions: bool
+    capacity: int
+    order: list[int] = field(default_factory=list)
+    #: LRU loads of ``order`` at ``capacity`` — the search objective, not
+    #: the rewrite volume (measure that with ``rewrite_schedule``).
+    cost: int = 0
+    #: candidate evaluations the strategy performed (expansions, rollouts
+    #: or annealing proposals) — the search-effort axis of the benches.
+    evaluations: int = 0
+    params: dict = field(default_factory=dict)
+
+    def ops(self) -> list[ComputeOp]:
+        """The compute ops in searched order."""
+        return [self.graph.nodes[i].op for i in self.order]
+
+    @property
+    def is_identity(self) -> bool:
+        return self.order == list(range(len(self.graph)))
+
+
+def _finish(
+    graph: DependencyGraph,
+    strategy: str,
+    relax: bool,
+    capacity: int,
+    order: list[int],
+    cost: int,
+    evaluations: int,
+    params: dict,
+) -> SearchResult:
+    if len(order) != len(graph):
+        raise ScheduleError(
+            f"{strategy} search emitted {len(order)} of {len(graph)} nodes"
+        )
+    if not graph.is_valid_order(order, relax_reductions=relax):
+        raise ScheduleError(f"{strategy} search produced an illegal order")
+    return SearchResult(
+        graph=graph,
+        strategy=strategy,
+        relax_reductions=relax,
+        capacity=capacity,
+        order=order,
+        cost=cost,
+        evaluations=evaluations,
+        params=params,
+    )
+
+
+# --------------------------------------------------------------------- #
+# beam search
+# --------------------------------------------------------------------- #
+
+def beam_search(
+    graph: DependencyGraph,
+    capacity: int,
+    *,
+    width: int = 4,
+    expand: int = 3,
+    relax_reductions: bool = False,
+) -> SearchResult:
+    """Top-``width`` partial orders, scored by incremental LRU loads.
+
+    All surviving partial orders have emitted the same number of ops, so
+    accumulated cost is directly comparable across the beam.  Orders are
+    stored as parent-linked tails (cloning a growing list per child would
+    be quadratic); ties break toward the lower op index everywhere, so
+    the result is deterministic.
+    """
+    if width < 1 or expand < 1:
+        raise ConfigurationError("beam width and expand must be >= 1")
+    n = len(graph)
+    root = IncrementalObjective(graph, capacity, relax_reductions=relax_reductions)
+    beams: list[tuple[IncrementalObjective, tuple | None]] = [(root, None)]
+    evaluations = 0
+    for _ in range(n):
+        children: list[tuple[int, int, IncrementalObjective, tuple]] = []
+        for obj, tail in beams:
+            for _miss, v in obj.candidates(expand):
+                child = obj.clone()
+                child.emit(v)
+                evaluations += 1
+                children.append((child.cost, v, child, (v, tail)))
+        if not children:
+            raise ScheduleError("beam search stalled — dependence cycle")
+        children.sort(key=lambda c: (c[0], c[1]))
+        beams = [(c[2], c[3]) for c in children[:width]]
+    best_obj, best_tail = min(beams, key=lambda b: b[0].cost)
+    order: list[int] = []
+    while best_tail is not None:
+        v, best_tail = best_tail
+        order.append(v)
+    order.reverse()
+    return _finish(
+        graph, "beam", relax_reductions, capacity, order, best_obj.cost,
+        evaluations, {"width": width, "expand": expand},
+    )
+
+
+# --------------------------------------------------------------------- #
+# lookahead greedy
+# --------------------------------------------------------------------- #
+
+def lookahead_search(
+    graph: DependencyGraph,
+    capacity: int,
+    *,
+    depth: int = 4,
+    breadth: int = 4,
+    relax_reductions: bool = False,
+) -> SearchResult:
+    """Greedy with ``depth``-step rollouts of the cheapest-miss rule.
+
+    For each of the ``breadth`` most promising ready ops, emit it on a
+    cloned state, roll the greedy rule ``depth`` further ops on the
+    suffix cursor, and commit the op whose rollout accumulated the fewest
+    loads (ties: fewer immediate misses, then lower index).
+    """
+    if depth < 0 or breadth < 1:
+        raise ConfigurationError("lookahead depth must be >= 0, breadth >= 1")
+    obj = IncrementalObjective(graph, capacity, relax_reductions=relax_reductions)
+    order: list[int] = []
+    evaluations = 0
+    while not obj.done:
+        cands = obj.candidates(breadth)
+        if len(cands) == 1 or depth == 0 or cands[0][0] < cands[1][0]:
+            # A strict immediate winner needs no rollout: deferring
+            # mandatory expensive ops always looks cheap at a fixed
+            # horizon, so the rollout only arbitrates ties (of the
+            # optimistic miss ranking — a deliberate heuristic cut).
+            choice = cands[0][1]
+        else:
+            best_key = None
+            choice = cands[0][1]
+            tie_miss = cands[0][0]
+            for miss, v in cands:
+                if miss > tie_miss:
+                    break  # cands are sorted: only the tied head competes
+                sim = obj.clone()
+                sim.emit(v)
+                for _ in range(depth):
+                    nxt = sim.candidates(1)
+                    if not nxt:
+                        break
+                    sim.emit(nxt[0][1])
+                evaluations += 1
+                key = (sim.cost, v)
+                if best_key is None or key < best_key:
+                    best_key, choice = key, v
+        obj.emit(choice)
+        order.append(choice)
+    return _finish(
+        graph, "lookahead", relax_reductions, capacity, order, obj.cost,
+        evaluations, {"depth": depth, "breadth": breadth},
+    )
+
+
+# --------------------------------------------------------------------- #
+# simulated annealing over segment interleavings
+# --------------------------------------------------------------------- #
+
+def _start_order(graph: DependencyGraph, start, relax: bool) -> list[int]:
+    if start is None:
+        # The cheap heuristics; callers with time to spare pass a
+        # locality/beam/lookahead order in explicitly.
+        return list_schedule(graph, "original", relax_reductions=relax).order
+    if isinstance(start, str):
+        if start not in HEURISTICS:
+            raise ConfigurationError(
+                f"unknown start heuristic {start!r}; choose from {', '.join(HEURISTICS)}"
+            )
+        return list_schedule(graph, start, relax_reductions=relax).order
+    return list(start)
+
+
+def anneal_search(
+    graph: DependencyGraph,
+    capacity: int,
+    *,
+    iters: int = 800,
+    seed: int = 0,
+    relax_reductions: bool = False,
+    start: "str | list[int] | None" = None,
+    max_segment: int = 12,
+    t_start: float = 1.5,
+    t_end: float = 0.05,
+) -> SearchResult:
+    """Simulated annealing over reduction-class interleavings.
+
+    The neighborhood is built around the commuting ``+=`` segments: most
+    proposals pick the contiguous run of same-reduction-class ops around
+    a random position and reverse it, rotate it, or swap it with the
+    following run (reversing a chain lets its tail meet the next chain's
+    head — the zigzag that shares operand columns across chain
+    boundaries; swapping runs re-chooses which chains are neighbors).
+    The rest are generic reversals/rotations of windows of at most
+    ``max_segment`` ops.  Every proposal is legality-checked against the
+    graph — under ``relax_reductions=False`` (the default, matching the
+    other strategies) in-chain reversals are rejected and the walk
+    explores only bit-exact chain permutations; pass
+    ``relax_reductions=True`` to open the interleaving space the
+    neighborhood is designed for — and costed by replaying only the
+    order suffix the move changed, from the nearest cached LRU
+    checkpoint.  Cooling is geometric from
+    ``t_start`` to ``t_end``; the best order ever seen is returned,
+    re-costed from cold as a cross-check.
+    """
+    if iters < 0:
+        raise ConfigurationError(f"iters must be >= 0, got {iters}")
+    if graph.trace is None:
+        raise ConfigurationError(
+            "order search needs the graph's compiled trace; build the "
+            "graph with DependencyGraph.from_trace/from_schedule"
+        )
+    trace = graph.trace
+    n = len(graph)
+    order = _start_order(graph, start, relax_reductions)
+    rng = random.Random(seed)
+    params = {
+        "iters": iters, "seed": seed, "max_segment": max_segment,
+        "accepted": 0, "illegal": 0,
+    }
+
+    if n < 3 or iters == 0:
+        cost = order_cost(trace, order, capacity)
+        return _finish(
+            graph, "anneal", relax_reductions, capacity, order, cost, 0, params
+        )
+
+    # LRU checkpoints every `interval` ops of the *current* order:
+    # snaps[j] is the cache state before position j*interval, so a move
+    # whose leftmost change is at position i re-costs only order[i0:]
+    # with i0 = (i // interval) * interval.
+    interval = max(8, n // 64)
+    cursor = LruCursor(trace, capacity)
+    snaps: list[tuple[int, tuple[int, ...]]] = [cursor.snapshot()]  # cold start
+
+    def replay_from(j0: int, candidate: list[int]) -> tuple[int, list]:
+        cursor.restore(snaps[j0])
+        new_snaps = []
+        for j in range(j0 * interval, n, interval):
+            new_snaps.append(cursor.snapshot())
+            cursor.apply(candidate[j : j + interval])
+        return cursor.loads, new_snaps
+
+    cur_cost, snaps = replay_from(0, order)
+    # replay_from(0, ...) rebuilds every snapshot, so snaps is complete.
+    best_order, best_cost = list(order), cur_cost
+
+    # Reduction-class membership drives the segment-aware moves.
+    class_of = [-1] * n
+    for ci, members in enumerate(graph.reduction_classes()):
+        for v in members:
+            class_of[v] = ci
+
+    def class_run(p: int) -> tuple[int, int]:
+        """Maximal run of same-class ops around position ``p`` (may be p,p+1)."""
+        ci = class_of[order[p]]
+        i = p
+        while i > 0 and class_of[order[i - 1]] == ci:
+            i -= 1
+        j = p + 1
+        while j < n and class_of[order[j]] == ci:
+            j += 1
+        return i, j
+
+    def propose() -> tuple[int, int, list[int]]:
+        """One neighborhood move: (window start, window end, new segment)."""
+        if rng.random() < 0.6:
+            p = rng.randrange(n)
+            if class_of[order[p]] >= 0:
+                i, j = class_run(p)
+                if j - i >= 2:
+                    seg = order[i:j]
+                    kind = rng.random()
+                    if kind < 0.5:
+                        return i, j, seg[::-1]
+                    if kind < 0.75:
+                        r = rng.randrange(1, len(seg))
+                        return i, j, seg[r:] + seg[:r]
+                    if j < n:  # swap this run with the one after it
+                        _, k = class_run(j)
+                        return i, k, order[j:k] + seg
+        i = rng.randrange(0, n - 1)
+        j = min(n, i + rng.randrange(2, max_segment + 1))
+        seg = order[i:j]
+        if rng.random() < 0.5:
+            return i, j, seg[::-1]
+        r = rng.randrange(1, len(seg))
+        return i, j, seg[r:] + seg[:r]
+
+    cooling = (t_end / t_start) ** (1.0 / max(1, iters - 1))
+    temp = t_start
+    evaluations = 0
+    for _ in range(iters):
+        i, j, segment = propose()
+        if segment == order[i:j]:
+            temp *= cooling
+            continue
+        candidate = order[:i] + segment + order[j:]
+        if not graph.is_valid_order(candidate, relax_reductions=relax_reductions):
+            params["illegal"] += 1
+            temp *= cooling
+            continue
+        j0 = i // interval
+        cand_cost, new_snaps = replay_from(j0, candidate)
+        evaluations += 1
+        dc = cand_cost - cur_cost
+        if dc <= 0 or rng.random() < math.exp(-dc / temp):
+            order, cur_cost = candidate, cand_cost
+            snaps[j0:] = new_snaps
+            params["accepted"] += 1
+            if cur_cost < best_cost:
+                best_order, best_cost = list(order), cur_cost
+        temp *= cooling
+
+    # Ground-truth re-cost of the winner on the reordered trace (shared
+    # interning, no recompilation): the checkpointed suffix replays must
+    # agree with a cold full replay.
+    final_cost = order_cost(trace, best_order, capacity)
+    if final_cost != best_cost:
+        raise ScheduleError(
+            f"annealing checkpoint replay drifted: {best_cost} != {final_cost}"
+        )
+    return _finish(
+        graph, "anneal", relax_reductions, capacity, best_order, final_cost,
+        evaluations, params,
+    )
+
+
+# --------------------------------------------------------------------- #
+# dispatcher
+# --------------------------------------------------------------------- #
+
+def search_order(
+    graph: DependencyGraph,
+    capacity: int,
+    strategy: str,
+    **kwargs,
+) -> SearchResult:
+    """Run one search ``strategy`` (:data:`STRATEGIES`) over ``graph``."""
+    if strategy == "beam":
+        return beam_search(graph, capacity, **kwargs)
+    if strategy == "lookahead":
+        return lookahead_search(graph, capacity, **kwargs)
+    if strategy == "anneal":
+        return anneal_search(graph, capacity, **kwargs)
+    raise ConfigurationError(
+        f"unknown strategy {strategy!r}; choose from {', '.join(STRATEGIES)}"
+    )

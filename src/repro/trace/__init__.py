@@ -32,9 +32,11 @@ from .io import (
 )
 from .replay import (
     BeladyReplayResult,
+    LruCursor,
     LruReplayResult,
     belady_replay_trace,
     lru_replay_trace,
+    lru_suffix_cost,
 )
 
 __all__ = [
@@ -47,7 +49,9 @@ __all__ = [
     "save_schedule",
     "save_trace",
     "BeladyReplayResult",
+    "LruCursor",
     "LruReplayResult",
     "belady_replay_trace",
     "lru_replay_trace",
+    "lru_suffix_cost",
 ]

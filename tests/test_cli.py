@@ -59,6 +59,27 @@ class TestCli:
         assert "RAW" in out and "reschedule:original" in out
         assert "reschedule:fan-out" not in out
 
+    def test_search(self, capsys):
+        assert main(
+            ["search", "--kernel", "tbs", "--n", "26", "--m", "3", "--s", "15",
+             "--strategy", "beam", "anneal", "--iters", "60", "--relax"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "order search" in out and "reduction" in out
+        assert "search:beam" in out and "search:anneal" in out
+        assert "search:lookahead" not in out
+        assert "belady (floor)" in out and "heuristic:locality" in out
+
+    def test_search_strict_default_strategies(self, capsys):
+        assert main(
+            ["search", "--kernel", "chol", "--n", "12", "--m", "0", "--s", "15",
+             "--iters", "40", "--heuristics", "original"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "search:beam" in out and "search:lookahead" in out
+        assert "heuristic:original" in out
+        assert "0.00e+00" in out  # strict orders replay bit-identically
+
     def test_parallel(self, capsys):
         assert main(
             ["parallel", "--kernel", "tbs", "--n", "26", "--m", "3", "--s", "15",

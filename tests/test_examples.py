@@ -47,6 +47,12 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "reduction" in out and "Belady floor" in out and "bit-identical" in out
 
+    def test_order_search(self, capsys):
+        load_example("order_search").main()
+        out = capsys.readouterr().out
+        assert "beam" in out and "anneal" in out and "lookahead" in out
+        assert "best searched order" in out and "Belady floor" in out
+
     def test_parallel_executor(self, capsys):
         load_example("parallel_executor").main()
         out = capsys.readouterr().out

@@ -1,0 +1,144 @@
+"""Property-based checks for the order-search engine.
+
+Two generators feed the same invariants — mirroring the
+``tests/test_trace_property.py`` pattern (hypothesis when available, a
+seeded random sweep otherwise, so the suite does not depend on the
+package):
+
+* every search strategy emits a *legal* topological order of the
+  dependence DAG for its ``relax_reductions`` setting, and the returned
+  ``cost`` is the genuine LRU load count of that order;
+* with reductions kept (``relax_reductions=False``), every searched
+  order rewrites into an explicit schedule that replays **bit-identical**
+  numerics to the recorded run;
+* the trace cursor's snapshot/suffix replay (the annealing engine's cost
+  hook) agrees with a cold full replay at every split point.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TwoLevelMachine
+from repro.baselines.ooc_syrk import ooc_syrk
+from repro.core.tbs import tbs_syrk
+from repro.graph.dependency import DependencyGraph
+from repro.graph.objective import order_cost
+from repro.graph.rewriter import rewrite_schedule
+from repro.graph.search import STRATEGIES, search_order
+from repro.sched.schedule import record_schedule
+from repro.trace.compiled import compile_trace
+from repro.trace.replay import LruCursor, lru_suffix_cost
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+SEARCH_KWARGS = {"anneal": {"iters": 40}}
+
+
+def record_kernel(kernel_name: str, n: int, mc: int, s: int, *, numerics: bool):
+    kernel = tbs_syrk if kernel_name == "tbs" else ooc_syrk
+    m = TwoLevelMachine(s, strict=False, numerics=numerics)
+    rng = np.random.default_rng(n * 100 + mc)
+    a = rng.standard_normal((n, mc)) if numerics else np.zeros((n, mc))
+    m.add_matrix("A", a)
+    m.add_matrix("C", np.zeros((n, n)))
+    schedule = record_schedule(m, lambda: kernel(m, "A", "C", range(n), range(mc)))
+    reference = m.result("C").copy() if numerics else None
+    return schedule, a, reference
+
+
+def check_legality(schedule, s):
+    trace = compile_trace(schedule)
+    graph = DependencyGraph.from_trace(trace)
+    for strategy in STRATEGIES:
+        for relax in (False, True):
+            result = search_order(
+                graph, s, strategy, relax_reductions=relax,
+                **SEARCH_KWARGS.get(strategy, {}),
+            )
+            assert sorted(result.order) == list(range(len(graph))), (strategy, relax)
+            assert graph.is_valid_order(result.order, relax_reductions=relax), (
+                strategy, relax)
+            assert result.cost == order_cost(trace, result.order, s), (strategy, relax)
+
+
+def check_bit_identical(kernel_name, n, mc, s):
+    schedule, a, reference = record_kernel(kernel_name, n, mc, s, numerics=True)
+    trace = compile_trace(schedule)
+    graph = DependencyGraph.from_trace(trace)
+    for strategy in STRATEGIES:
+        result = search_order(
+            graph, s, strategy, relax_reductions=False,
+            **SEARCH_KWARGS.get(strategy, {}),
+        )
+        rewrite = rewrite_schedule(trace, s, result.order, graph=graph)
+        m = TwoLevelMachine(s)
+        m.add_matrix("A", a)
+        m.add_matrix("C", np.zeros((n, n)))
+        from repro.sched.schedule import replay_schedule
+
+        replay_schedule(rewrite.schedule, m)
+        m.assert_empty()
+        assert np.array_equal(m.result("C"), reference), strategy
+
+
+def check_suffix_replay(schedule, s, split_fraction):
+    trace = compile_trace(schedule)
+    cursor = LruCursor(trace, s)
+    split = int(trace.n_ops * split_fraction)
+    cursor.apply(range(split))
+    snap = cursor.snapshot()
+    total = lru_suffix_cost(trace, s, range(split, trace.n_ops), snap)
+    assert total == lru_suffix_cost(trace, s, range(trace.n_ops))
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        kernel=st.sampled_from(["tbs", "ocs"]),
+        n=st.integers(min_value=8, max_value=22),
+        mc=st.integers(min_value=1, max_value=3),
+        s=st.integers(min_value=9, max_value=24),
+    )
+    def test_search_orders_legal_hypothesis(kernel, n, mc, s):
+        schedule, _a, _ref = record_kernel(kernel, n, mc, s, numerics=False)
+        check_legality(schedule, s)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        kernel=st.sampled_from(["tbs", "ocs"]),
+        n=st.integers(min_value=8, max_value=16),
+        mc=st.integers(min_value=1, max_value=2),
+        split=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_strict_search_bit_identical_hypothesis(kernel, n, mc, split):
+        check_bit_identical(kernel, n, mc, 12)
+        schedule, _a, _ref = record_kernel(kernel, n, mc, 12, numerics=False)
+        check_suffix_replay(schedule, 12, split)
+
+
+def test_search_orders_legal_seeded_sweep():
+    rng = np.random.default_rng(2024)
+    for _ in range(5):
+        kernel = "tbs" if rng.random() < 0.5 else "ocs"
+        n = int(rng.integers(8, 22))
+        mc = int(rng.integers(1, 4))
+        s = int(rng.integers(9, 25))
+        schedule, _a, _ref = record_kernel(kernel, n, mc, s, numerics=False)
+        check_legality(schedule, s)
+        check_suffix_replay(schedule, s, float(rng.random()))
+
+
+def test_strict_search_bit_identical_seeded_sweep():
+    rng = np.random.default_rng(7)
+    for _ in range(3):
+        kernel = "tbs" if rng.random() < 0.5 else "ocs"
+        n = int(rng.integers(8, 17))
+        mc = int(rng.integers(1, 3))
+        check_bit_identical(kernel, n, mc, 12)
