@@ -32,7 +32,7 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="shrink problem sizes in benches that consume the `smoke` "
-        "fixture (currently E13-E15, whose full sizes take tens of "
+        "fixture (currently E13-E16, whose full sizes take tens of "
         "seconds; E1-E12, including the parallel bench E11, are already "
         "CI-sized). Shape claims stay asserted; E13's absolute-speedup "
         "claims are skipped",

@@ -22,7 +22,9 @@ Commands
 ``parallel``  shard a recorded schedule's task DAG across P simulated nodes
               (partitioners: level-greedy / locality / owner-computes) and
               report per-node receive volumes against the parallel
-              per-node lower bounds
+              per-node lower bounds, plus a mults-weighted makespan per
+              row; ``--refine`` additionally runs the transfer-aware
+              partition refiner on each partitioner's assignment
 
 Examples
 --------
@@ -40,6 +42,7 @@ Examples
     python -m repro trace replay tbs.npz --capacity 15 30 --policy both
     python -m repro trace info tbs.npz
     python -m repro parallel --kernel tbs --n 40 --m 6 --s 15 --p 1 4 16
+    python -m repro parallel --kernel tbs --n 40 --m 6 --s 15 --p 4 --refine greedy
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ from .graph.compare import CASES
 from .graph.scheduler import HEURISTICS
 from .graph.search import STRATEGIES
 from .parallel.executor import PARTITIONERS, POLICIES
+from .parallel.refine import REFINE_STRATEGIES
 from .utils.fmt import Table, banner, format_float, format_int
 
 
@@ -369,6 +373,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     from .graph.compare import record_case
     from .graph.dependency import DependencyGraph
     from .parallel.executor import execute_graph
+    from .parallel.refine import refine_partition
 
     def bound_for(p: int) -> float | None:
         if args.kernel in ("tbs", "ocs"):
@@ -380,39 +385,65 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     partitioners = tuple(args.partitioners) if args.partitioners else PARTITIONERS
     case = record_case(args.kernel, args.n, args.m, args.s)
     graph = DependencyGraph.from_trace(case.trace)
+    mults = [float(node.op.mults) for node in graph.nodes]
     print(banner(
         f"sharded DAG executor: {args.kernel} n={args.n} m={args.m} "
         f"S={args.s} policy={args.policy}"
     ))
     print(
-        f"{len(graph)} compute ops, critical path {graph.critical_path_length()}; "
+        f"{len(graph)} compute ops, critical path "
+        f"{graph.critical_path_length()} ops "
+        f"({int(graph.critical_path_cost(mults)):,} mults weighted); "
         f"single-node explicit Q = {case.explicit_loads:,}"
     )
     t = Table(
-        ["P", "partitioner", "max recv", "mean recv", "xfer", "cut",
-         "imbalance", "peak<=S", "recv/bound"]
+        ["P", "partitioner", "max recv", "recv+xfer", "xfer", "max xfer out",
+         "cut", "imbalance", "peak<=S", "recv/bound", "makespan"]
     )
+
+    def add_row(p: int, label: str, summ) -> None:
+        bound = bound_for(p)
+        ratio = f"{summ.max_recv / bound:.3f}" if bound and bound > 0 else "-"
+        t.add_row(
+            [p, label,
+             format_int(summ.max_recv), format_int(summ.max_recv_incl_transfers),
+             format_int(summ.total_transfer), format_int(summ.max_transfer_out),
+             format_int(summ.cut_edge_count),
+             f"{summ.compute_imbalance:.3f}", str(summ.peak_ok), ratio,
+             format_int(int(summ.makespan))]
+        )
+
     for p in args.p:
         # Every partitioner degenerates to the same trivial assignment at
         # P = 1; run and print it once.
         for part in (partitioners if p > 1 else partitioners[:1]):
             summ = execute_graph(
                 case.schedule, p, args.s, partitioner=part, policy=args.policy,
-                graph=graph,
+                graph=graph, alpha=args.alpha, beta=args.beta,
             )
-            bound = bound_for(p)
-            ratio = (
-                f"{summ.max_recv / bound:.3f}" if bound and bound > 0 else "-"
-            )
-            t.add_row(
-                [p, part if p > 1 else "(any)",
-                 format_int(summ.max_recv), format_int(int(summ.mean_recv)),
-                 format_int(summ.total_transfer), format_int(summ.cut_edge_count),
-                 f"{summ.compute_imbalance:.3f}", str(summ.peak_ok), ratio]
-            )
+            add_row(p, part if p > 1 else "(any)", summ)
+            if args.refine and p > 1:
+                refined = refine_partition(
+                    graph, list(summ.owner), p, args.s, strategy=args.refine,
+                    seed=args.seed,
+                    # judge never-worse under the matching counting policy
+                    # (lru for --policy lru, the belady floor otherwise)
+                    eval_policy="lru" if args.policy == "lru" else "belady",
+                )
+                summ = execute_graph(
+                    case.schedule, p, args.s, owner=refined.owner,
+                    policy=args.policy, graph=graph,
+                    partitioner_label=f"{part}+refine",
+                    alpha=args.alpha, beta=args.beta,
+                )
+                add_row(p, f"{part}+refine", summ)
     print(t.render())
     print("\n'recv' counts each node's loads (receives, §2.2 equivalence); 'xfer' is")
-    print("the cross-shard slice of it carried by cut RAW/reduction edges.")
+    print("the cross-shard slice of it carried by cut RAW/reduction edges (global")
+    print("in == out, asserted), 'max xfer out' the busiest sender's share, and")
+    print("'recv+xfer' the per-node sum — the quantity `--refine` minimizes.")
+    print("'makespan' is the weighted latency model (per-op cost = mults, per-cross-")
+    print(f"edge cost = {args.alpha:g} + {args.beta:g}*elements); critical path is printed in both units.")
     return 0
 
 
@@ -509,6 +540,16 @@ def main(argv: list[str] | None = None) -> int:
                        choices=list(PARTITIONERS))
     p_par.add_argument("--policy", choices=[p for p in POLICIES if p != "explicit"],
                        default="rewrite")
+    p_par.add_argument("--refine", nargs="?", const="greedy", default=None,
+                       choices=list(REFINE_STRATEGIES),
+                       help="also refine each partitioner's assignment "
+                            "(transfer-aware local search) and print the row")
+    p_par.add_argument("--seed", type=int, default=0,
+                       help="seed for the refinement annealer")
+    p_par.add_argument("--alpha", type=float, default=1.0,
+                       help="per-cross-edge latency constant of the makespan model")
+    p_par.add_argument("--beta", type=float, default=1.0,
+                       help="per-transferred-element latency of the makespan model")
 
     args = parser.parse_args(argv)
     return {

@@ -61,7 +61,9 @@ from .scheduler import (
 from .objective import IncrementalObjective, element_op_lists, order_cost
 from .search import (
     STRATEGIES,
+    AnnealStats,
     SearchResult,
+    anneal_minimize,
     anneal_search,
     beam_search,
     lookahead_search,
@@ -102,7 +104,9 @@ __all__ = [
     "element_op_lists",
     "order_cost",
     "STRATEGIES",
+    "AnnealStats",
     "SearchResult",
+    "anneal_minimize",
     "anneal_search",
     "beam_search",
     "lookahead_search",

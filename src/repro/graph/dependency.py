@@ -259,10 +259,40 @@ class DependencyGraph:
         return depth
 
     def critical_path_length(self) -> int:
-        """Longest chain length (nodes) — the span of the task DAG."""
+        """Longest chain length in *nodes* — the unweighted span of the DAG.
+
+        This counts ops, not work: comparing it against compute volumes
+        (mults) is a unit error.  For a span in the same unit as the fleet
+        metrics, use :meth:`critical_path_cost` with per-op mults.
+        """
         if not self.nodes:
             return 0
         return max(self.depths()) + 1
+
+    def critical_path_cost(self, weights: "Sequence[float]") -> float:
+        """Longest weighted chain — the span in the unit of ``weights``.
+
+        ``weights[v]`` is the cost of op ``v`` (the fleet metrics use
+        mults); the returned value is the maximum over all dependence
+        chains of the summed weights, i.e. the runtime floor of any
+        schedule on unboundedly many nodes with free communication.  With
+        unit weights this equals :meth:`critical_path_length`.
+        """
+        if len(weights) != len(self.nodes):
+            raise ConfigurationError(
+                f"weights has {len(weights)} entries for {len(self.nodes)} ops"
+            )
+        cost = [0.0] * len(self.nodes)
+        best = 0.0
+        for v in range(len(self.nodes)):  # original order is topological
+            c = 0.0
+            for u in self.preds[v]:
+                if cost[u] > c:
+                    c = cost[u]
+            cost[v] = c + weights[v]
+            if cost[v] > best:
+                best = cost[v]
+        return best
 
     def is_valid_order(self, order: list[int], *, relax_reductions: bool = False) -> bool:
         """Does ``order`` (a permutation of node indices) respect the DAG?"""
@@ -328,17 +358,28 @@ class DependencyGraph:
             cut = self.cut_edges(owner, kinds=frozenset({"raw", "reduction"}))
         flows: dict[tuple[int, int], set[int]] = {}
         for u, v, ks in cut:
-            if not ks & {"raw", "reduction"}:
-                continue
-            nu, nv = self.nodes[u], self.nodes[v]
-            if "raw" in ks:
-                needed = nv.input_keys | (nv.write_keys if nv.is_accumulation else frozenset())
-            else:  # reduction-only: the shared accumulator itself
-                needed = nv.write_keys
-            shared = nu.write_keys & needed
+            shared = self.edge_flow(u, v, ks)
             if shared:
                 flows.setdefault((owner[u], owner[v]), set()).update(shared)
         return flows
+
+    def edge_flow(self, u: int, v: int, kinds: frozenset[str]) -> frozenset[int]:
+        """Element IDs edge ``(u, v)`` carries when its endpoints are split.
+
+        The per-edge kernel of :meth:`cut_transfers` (same RAW/reduction
+        rules), exposed so incremental consumers — the transfer-aware
+        partition refiner's ledger, the makespan model's edge latencies —
+        can precompute one flow set per edge instead of re-walking the
+        whole cut.  WAR/WAW-only edges carry no data (empty set).
+        """
+        if not kinds & {"raw", "reduction"}:
+            return frozenset()
+        nu, nv = self.nodes[u], self.nodes[v]
+        if "raw" in kinds:
+            needed = nv.input_keys | (nv.write_keys if nv.is_accumulation else frozenset())
+        else:  # reduction-only: the shared accumulator itself
+            needed = nv.write_keys
+        return nu.write_keys & needed
 
     def reduction_classes(self) -> list[list[int]]:
         """Maximal groups of accumulations linked by reduction-only edges.

@@ -32,6 +32,12 @@ load count that scored it:
     trace — re-costed from the nearest mid-stream cache checkpoint
     (:meth:`~repro.trace.replay.LruCursor.snapshot`), never recompiled.
 
+The annealer's Metropolis move/accept loop is factored out as
+:func:`anneal_minimize` — a state-agnostic harness (propose/commit
+callbacks, geometric cooling, caller-owned best tracking) that the
+transfer-aware partition refiner (:mod:`repro.parallel.refine`) drives
+over shard assignments with the exact same accept rule.
+
 Every strategy is deterministic given its parameters (annealing takes a
 seed) and every returned order is validated against the graph before it
 leaves this module.  Downstream, a returned order is dressed into an
@@ -45,6 +51,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..errors import ConfigurationError, ScheduleError
 from ..sched.ops import ComputeOp
@@ -55,6 +62,64 @@ from .scheduler import HEURISTICS, list_schedule
 
 #: Search strategies, in the order the CLI and benches report them.
 STRATEGIES = ("beam", "lookahead", "anneal")
+
+
+# --------------------------------------------------------------------- #
+# the shared move/accept loop
+# --------------------------------------------------------------------- #
+
+@dataclass
+class AnnealStats:
+    """Counters of one :func:`anneal_minimize` run."""
+
+    iters: int = 0
+    evaluations: int = 0  # proposals that were costed
+    accepted: int = 0
+    skipped: int = 0      # proposals dropped before costing (no-op/illegal)
+
+
+def anneal_minimize(
+    cost: float,
+    step: "Callable[[random.Random], tuple[float, Callable[[], None]] | None]",
+    *,
+    iters: int,
+    rng: random.Random,
+    t_start: float = 1.5,
+    t_end: float = 0.05,
+) -> tuple[float, AnnealStats]:
+    """The Metropolis move/accept loop shared by every annealer here.
+
+    One proposal per iteration: ``step(rng)`` either returns
+    ``(candidate_cost, commit)`` — calling ``commit()`` applies the move to
+    the caller's state — or ``None`` for a no-op/illegal proposal (the
+    temperature still cools, matching a rejected move).  The loop owns
+    cooling (geometric from ``t_start`` to ``t_end``) and the accept rule
+    (downhill always; uphill with probability ``exp(-dc / temp)``); the
+    caller owns every piece of state, including best-seen tracking (do it
+    inside ``commit``).  :func:`anneal_search` drives it over compute
+    orders; :func:`repro.parallel.refine.refine_partition` drives the same
+    loop over shard assignments.  Returns the final accepted cost and the
+    proposal counters.
+    """
+    stats = AnnealStats()
+    cooling = (t_end / t_start) ** (1.0 / max(1, iters - 1))
+    temp = t_start
+    for _ in range(iters):
+        stats.iters += 1
+        proposal = step(rng)
+        if proposal is None:
+            stats.skipped += 1
+            temp *= cooling
+            continue
+        cand, commit = proposal
+        stats.evaluations += 1
+        dc = cand - cost
+        if dc <= 0 or rng.random() < math.exp(-dc / temp):
+            commit()
+            cost = cand
+            stats.accepted += 1
+        temp *= cooling
+    return cost, stats
 
 
 @dataclass
@@ -353,30 +418,32 @@ def anneal_search(
         r = rng.randrange(1, len(seg))
         return i, j, seg[r:] + seg[:r]
 
-    cooling = (t_end / t_start) ** (1.0 / max(1, iters - 1))
-    temp = t_start
-    evaluations = 0
-    for _ in range(iters):
+    def step(_rng: random.Random):
+        # propose() closes over the same rng the loop drives.
         i, j, segment = propose()
         if segment == order[i:j]:
-            temp *= cooling
-            continue
+            return None
         candidate = order[:i] + segment + order[j:]
         if not graph.is_valid_order(candidate, relax_reductions=relax_reductions):
             params["illegal"] += 1
-            temp *= cooling
-            continue
+            return None
         j0 = i // interval
         cand_cost, new_snaps = replay_from(j0, candidate)
-        evaluations += 1
-        dc = cand_cost - cur_cost
-        if dc <= 0 or rng.random() < math.exp(-dc / temp):
-            order, cur_cost = candidate, cand_cost
+
+        def commit() -> None:
+            nonlocal order, best_order, best_cost
+            order = candidate
             snaps[j0:] = new_snaps
-            params["accepted"] += 1
-            if cur_cost < best_cost:
-                best_order, best_cost = list(order), cur_cost
-        temp *= cooling
+            if cand_cost < best_cost:
+                best_order, best_cost = list(candidate), cand_cost
+
+        return cand_cost, commit
+
+    cur_cost, stats = anneal_minimize(
+        cur_cost, step, iters=iters, rng=rng, t_start=t_start, t_end=t_end
+    )
+    params["accepted"] = stats.accepted
+    evaluations = stats.evaluations
 
     # Ground-truth re-cost of the winner on the reordered trace (shared
     # interning, no recompilation): the checkpointed suffix replays must

@@ -25,6 +25,13 @@ replays each shard on its own counting engine via per-shard sub-trace
 slicing, and charges cross-shard RAW/reduction edges as explicit
 node-to-node transfers — experiment E14 measures the result against the
 per-node lower bounds in :mod:`repro.core.bounds`.
+
+On top of the one-shot partitioners, :mod:`repro.parallel.refine` locally
+*searches* the assignment space (single-op / reduction-class / write-group
+moves, incremental ``max(recv + transfer_in)`` ledger, greedy and annealing
+drivers) and never returns a partition measured worse than its seed, and
+:mod:`repro.parallel.makespan` scores any ``(owner, order)`` pair with a
+mults-weighted critical-path/latency model — experiment E16 measures both.
 """
 
 from .executor import (
@@ -37,11 +44,22 @@ from .executor import (
     partition_graph,
     shard_schedule,
 )
+from .makespan import MakespanResult, makespan_model
 from .partition import (
     BlockSpec,
     NodeAssignment,
+    balance_cap,
     square_tile_assignment,
     triangle_block_assignment,
+)
+from .refine import (
+    EVAL_POLICIES,
+    REFINE_STRATEGIES,
+    PartitionLedger,
+    RefineResult,
+    partition_cost,
+    refine_partition,
+    write_groups,
 )
 from .simulate import (
     NodeReport,
@@ -53,8 +71,18 @@ from .simulate import (
 __all__ = [
     "BlockSpec",
     "NodeAssignment",
+    "balance_cap",
     "square_tile_assignment",
     "triangle_block_assignment",
+    "MakespanResult",
+    "makespan_model",
+    "EVAL_POLICIES",
+    "REFINE_STRATEGIES",
+    "PartitionLedger",
+    "RefineResult",
+    "partition_cost",
+    "refine_partition",
+    "write_groups",
     "NodeReport",
     "ParallelSummary",
     "record_block_schedule",

@@ -69,8 +69,9 @@ from ..sched.schedule import ComputeStep, EvictStep, LoadStep, Schedule, Step
 from ..sched.validate import validate_schedule
 from ..trace.compiled import CompiledTrace, compile_trace
 from ..trace.replay import belady_replay_trace, lru_replay_trace
-from ..utils.unionfind import DisjointSets
-from .partition import NodeAssignment, deal_least_loaded
+from .makespan import makespan_model
+from .partition import NodeAssignment, balance_cap, deal_least_loaded
+from .refine import write_groups
 from .simulate import fleet_imbalance, fleet_mean
 
 PARTITIONERS = ("level-greedy", "locality", "owner-computes")
@@ -103,7 +104,10 @@ def _partition_levels(graph: DependencyGraph, p: int) -> list[int]:
 
 def _partition_locality(graph: DependencyGraph, p: int, slack: float) -> list[int]:
     weights = _op_weights(graph)
-    cap = slack * sum(weights) / p
+    # Exact integer cap: the float expression `slack * total / p` can round
+    # below the true bound and spuriously reject exact-balance placements
+    # at slack=1.0 (see balance_cap).
+    cap = balance_cap(sum(weights), p, slack)
     owner = [0] * len(graph)
     loads = [0] * p
     elem_owner: dict[int, int] = {}
@@ -125,18 +129,10 @@ def _partition_locality(graph: DependencyGraph, p: int, slack: float) -> list[in
 
 
 def _partition_owner_computes(graph: DependencyGraph, p: int) -> list[int]:
-    # Union ops that share a written element, so every element's writers
-    # land on one node (reduction classes never split; no write transfers).
-    sets = DisjointSets(len(graph))
-    writer_of: dict[int, int] = {}
-    for v, node in enumerate(graph.nodes):
-        for key in node.write_keys:
-            u = writer_of.setdefault(key, v)
-            if u != v:
-                sets.union(v, u)
-    groups = sets.groups()
+    # Deal whole write-groups, so every element's writers land on one node
+    # (reduction classes never split; no write transfers).
     weights = _op_weights(graph)
-    group_list = sorted(groups.values(), key=lambda g: g[0])
+    group_list = write_groups(graph)
     group_weights = [sum(weights[v] for v in g) for g in group_list]
     targets = deal_least_loaded(group_weights, p)
     owner = [0] * len(graph)
@@ -382,10 +378,22 @@ class ExecutorSummary:
     policy: str
     partitioner: str
     n_ops: int
+    #: unweighted DAG span in *ops* (chain length, not work) — do not
+    #: compare against compute volumes; that is what
+    #: :attr:`critical_path_mults` is for.
     critical_path: int
     cut_edge_count: int
     owner: tuple[int, ...]
     shards: tuple[ShardReport, ...]
+    #: weighted DAG span in *mults*: the runtime floor on unboundedly many
+    #: nodes with free communication, same unit as ``total_mults``.
+    critical_path_mults: int = 0
+    #: weighted makespan of this (owner, recorded order) pair under the
+    #: latency model (per-op cost = mults, per-cross-edge cost =
+    #: alpha + beta * transferred elements).
+    makespan: float = 0.0
+    alpha: float = 1.0
+    beta: float = 1.0
 
     @property
     def max_recv(self) -> int:
@@ -416,8 +424,23 @@ class ExecutorSummary:
 
     @property
     def total_transfer(self) -> int:
-        """Node-to-node elements (each counted once per src/dst shard pair)."""
+        """Node-to-node elements (each counted once per src/dst shard pair).
+
+        Summed over the receiving side; :func:`execute_graph` asserts the
+        sending side (:attr:`total_transfer_out`) sums to the same value —
+        every transferred element leaves exactly one shard and arrives at
+        exactly one.
+        """
         return sum(r.transfer_in for r in self.shards)
+
+    @property
+    def total_transfer_out(self) -> int:
+        """The sending side of :attr:`total_transfer` (globally equal)."""
+        return sum(r.transfer_out for r in self.shards)
+
+    @property
+    def max_transfer_out(self) -> int:
+        return max((r.transfer_out for r in self.shards), default=0)
 
     @property
     def total_mults(self) -> int:
@@ -457,15 +480,22 @@ def execute_graph(
     policy: str = "rewrite",
     owner: Sequence[int] | None = None,
     graph: DependencyGraph | None = None,
+    partitioner_label: str | None = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
 ) -> ExecutorSummary:
     """Partition ``source``'s task DAG across ``p`` nodes and replay each shard.
 
     ``source`` is a recorded schedule or its compiled trace; the DAG is
     extracted once (or passed in via ``graph``, which must carry the same
     trace).  ``owner`` overrides the partitioner with an explicit op-to-node
-    map — e.g. :func:`owner_from_assignment` for the SYRK cross-check.
-    The ``"explicit"`` policy shards the recorded load/evict stream itself
-    and therefore requires ``source`` to be a :class:`Schedule`.
+    map — e.g. :func:`owner_from_assignment` for the SYRK cross-check, or a
+    :func:`~repro.parallel.refine.refine_partition` result — reported as
+    ``partitioner_label`` (default ``"explicit-owner"``).  The
+    ``"explicit"`` policy shards the recorded load/evict stream itself and
+    therefore requires ``source`` to be a :class:`Schedule`.  ``alpha`` /
+    ``beta`` parameterize the per-edge latency of the weighted makespan
+    reported alongside the volume counts.
     """
     if s < 1:
         raise ConfigurationError(f"S must be >= 1, got {s}")
@@ -513,7 +543,7 @@ def execute_graph(
         owner = partition_graph(graph, p, partitioner)
     else:
         owner = [int(q) for q in owner]
-        partitioner = "explicit-owner"
+        partitioner = partitioner_label or "explicit-owner"
         if len(owner) != len(graph):
             raise ConfigurationError(
                 f"owner has {len(owner)} entries for {len(graph)} ops"
@@ -532,6 +562,13 @@ def execute_graph(
     for (src, dst), elems in flows.items():
         transfer_out[src] += len(elems)
         transfer_in[dst] += len(elems)
+    # Global conservation (the transfer analogue of the recv/send symmetry
+    # check): every transferred element leaves one shard and arrives at one.
+    if sum(transfer_in) != sum(transfer_out):  # pragma: no cover - defensive
+        raise ScheduleError(
+            f"transfer accounting asymmetric: {sum(transfer_in)} received "
+            f"vs {sum(transfer_out)} sent"
+        )
 
     explicit_shards = shard_schedule(source, owner, p) if policy == "explicit" else None
 
@@ -568,6 +605,10 @@ def execute_graph(
                 peak_memory=int(peak),
             )
         )
+    mult_weights = [float(node.op.mults) for node in graph.nodes]
+    span = makespan_model(
+        graph, owner, p=p, alpha=alpha, beta=beta, weights=mult_weights
+    )
     return ExecutorSummary(
         p=p,
         s=s,
@@ -578,4 +619,8 @@ def execute_graph(
         cut_edge_count=len(cut),
         owner=tuple(owner),
         shards=tuple(reports),
+        critical_path_mults=int(span.critical_path),
+        makespan=span.makespan,
+        alpha=alpha,
+        beta=beta,
     )

@@ -1,0 +1,156 @@
+"""Weighted critical-path / latency model for sharded DAG executions.
+
+The executor's volume counts (receives, transfers) say how many elements
+move, but two partitions with equal volumes can still finish at very
+different times: one may serialize its work on a bottleneck node or chain
+its transfers along the critical path.  This module scores any
+``(owner, order)`` pair with the classic DAG-scheduling makespan model:
+
+* every op ``v`` costs ``weights[v]`` time units on its node (the fleet
+  convention is *mults*, so makespans are comparable to compute volumes);
+* ops placed on the same node serialize in ``order`` (each node is one
+  sequential worker — exactly how the executor replays a shard);
+* a dependence edge crossing nodes charges a latency of
+  ``alpha + beta * transferred elements``, where the transferred elements
+  are the edge's data flow under the same RAW/reduction rules as
+  :meth:`~repro.graph.dependency.DependencyGraph.cut_transfers`
+  (WAR/WAW-only cross edges carry no data and pay the fixed ``alpha``
+  synchronization cost only);
+* same-node edges cost nothing beyond the serialization they imply.
+
+``finish(v)`` is then ``max(node available, max over preds of
+finish(u) + edge latency) + weights[v]`` and the makespan is the largest
+finish time.  Two classical floors come for free and are reported next to
+it: the weighted critical path
+(:meth:`~repro.graph.dependency.DependencyGraph.critical_path_cost` — the
+runtime on unboundedly many nodes with free communication) and the
+busiest node's total work (the runtime with free dependences).  The
+makespan can never undercut either — with one caveat: ``critical_path``
+always walks the *full* edge set, so under ``relax_reductions=True``
+(where reduction-only timing edges are dropped from the makespan) a
+reordered chain can legitimately finish below it; ``max_busy`` remains a
+floor in every mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError, ScheduleError
+from ..graph.dependency import DependencyGraph
+
+
+@dataclass(frozen=True)
+class MakespanResult:
+    """Latency accounting of one ``(owner, order)`` pair."""
+
+    p: int
+    alpha: float
+    beta: float
+    #: the largest finish time — the model's estimate of wall-clock, in
+    #: op-weight units (mults by default) plus edge latencies.
+    makespan: float
+    #: weighted critical path: the floor with unbounded nodes and free
+    #: communication.
+    critical_path: float
+    #: per-node summed op weights (busy time, ignoring waits).
+    node_busy: tuple[float, ...]
+    #: total latency charged on cross-node edges (each edge once).
+    comm_latency: float
+    n_cross_edges: int
+    #: op index that finishes last (-1 for an empty graph).
+    bottleneck: int
+
+    @property
+    def max_busy(self) -> float:
+        """The busiest node's work — the floor with free dependences."""
+        return max(self.node_busy, default=0.0)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Total work over ``p * makespan`` — 1.0 means no node ever waits."""
+        if self.makespan <= 0:
+            return 1.0
+        return sum(self.node_busy) / (self.p * self.makespan)
+
+
+def makespan_model(
+    graph: DependencyGraph,
+    owner: Sequence[int],
+    *,
+    p: int | None = None,
+    order: Sequence[int] | None = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    weights: Sequence[float] | None = None,
+    relax_reductions: bool = False,
+) -> MakespanResult:
+    """Score the ``(owner, order)`` pair under the latency model.
+
+    ``owner[v]`` places op ``v`` on a node; ``order`` is the global
+    execution order (default: the recorded order, which is what the
+    executor replays) and must be legal for the graph under
+    ``relax_reductions``.  ``weights`` defaults to per-op mults.  ``p``
+    defaults to ``max(owner) + 1``; idle trailing nodes are allowed.
+    """
+    n = len(graph)
+    if len(owner) != n:
+        raise ConfigurationError(f"owner has {len(owner)} entries for {n} ops")
+    top = (max(owner) + 1) if n else 1
+    if p is None:
+        p = top
+    elif p < top:
+        raise ConfigurationError(f"owner references node {top - 1} but p = {p}")
+    if n and min(owner) < 0:
+        raise ConfigurationError("owner indices must be >= 0")
+    if alpha < 0 or beta < 0:
+        raise ConfigurationError("alpha and beta must be >= 0")
+    if weights is None:
+        weights = [float(node.op.mults) for node in graph.nodes]
+    elif len(weights) != n:
+        raise ConfigurationError(f"weights has {len(weights)} entries for {n} ops")
+    if order is None:
+        order = range(n)
+    elif not graph.is_valid_order(list(order), relax_reductions=relax_reductions):
+        raise ScheduleError("makespan order is not a legal order of the graph")
+
+    finish = [0.0] * n
+    node_avail = [0.0] * p
+    node_busy = [0.0] * p
+    comm_latency = 0.0
+    n_cross = 0
+    bottleneck = -1
+    makespan = 0.0
+    for v in order:
+        q = owner[v]
+        t = node_avail[q]
+        # Relaxed orders may reorder within a reduction class; the dropped
+        # reduction-only edges then carry no timing constraint either.
+        for u in graph.effective_preds(v, relax_reductions=relax_reductions):
+            kinds = graph.preds[v][u]
+            if owner[u] == q:
+                arrival = finish[u]
+            else:
+                latency = alpha + beta * len(graph.edge_flow(u, v, frozenset(kinds)))
+                arrival = finish[u] + latency
+                comm_latency += latency
+                n_cross += 1
+            if arrival > t:
+                t = arrival
+        finish[v] = t + float(weights[v])
+        node_avail[q] = finish[v]
+        node_busy[q] += float(weights[v])
+        if finish[v] > makespan:
+            makespan, bottleneck = finish[v], v
+    return MakespanResult(
+        p=p,
+        alpha=alpha,
+        beta=beta,
+        makespan=makespan,
+        critical_path=graph.critical_path_cost(list(weights)),
+        node_busy=tuple(node_busy),
+        comm_latency=comm_latency,
+        n_cross_edges=n_cross,
+        bottleneck=bottleneck,
+    )

@@ -21,6 +21,7 @@ simulation in :mod:`repro.parallel.simulate` is a legal two-level schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 import numpy as np
 
@@ -94,6 +95,26 @@ class NodeAssignment:
                 seen |= ps
         want = {(i, j) for i in range(self.n) for j in range(i + 1)}
         return seen == want
+
+
+def balance_cap(total: int, p: int, slack: float) -> int:
+    """The largest integer load within ``slack * total / p`` — exactly.
+
+    Per-node loads are integers, so a load cap is only meaningful as the
+    integer floor of the real bound ``slack * total / p``.  Evaluating that
+    bound in floating point can round *below* the true value (e.g.
+    ``total = 2**53 + 1`` loses its last bit before the division), which
+    made ``balance_slack = 1.0`` spuriously reject exact-balance
+    placements.  ``Fraction`` keeps the comparison exact: an integer load
+    ``x`` satisfies ``x <= slack * total / p`` iff
+    ``x <= balance_cap(total, p, slack)``.  The float ``slack`` is snapped
+    to the simplest nearby rational (``limit_denominator``), so a nominal
+    ``1.2`` means exactly ``6/5`` rather than the float one ulp below it.
+    """
+    check_positive("p", p)
+    if slack < 0:
+        raise ConfigurationError(f"slack must be >= 0, got {slack}")
+    return int(Fraction(slack).limit_denominator(10**6) * total / p)
 
 
 def deal_least_loaded(

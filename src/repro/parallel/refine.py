@@ -1,0 +1,533 @@
+"""Transfer-aware refinement of a sharded execution's op-to-node map.
+
+The one-shot partitioners of :mod:`repro.parallel.executor` fix a trade:
+``level-greedy`` balances work but splits reduction classes (paying tens of
+thousands of transferred elements on a SYRK DAG), ``owner-computes`` keeps
+classes whole but ignores everything else.  This module *searches* the
+assignment space between them: take any seed ``owner[]``, propose local
+moves — one op, a whole reduction class, or a whole write-group — and keep
+the moves that lower the fleet's bounding quantity
+
+    ``max_q ( recv_q + transfer_in_q )``
+
+the per-node receives plus incoming peer transfers that
+:attr:`~repro.parallel.executor.ExecutorSummary.max_recv_incl_transfers`
+charges and the parallel lower bounds govern.
+
+Replaying every candidate's shards would cost an ``execute_graph`` per
+proposal; instead :class:`PartitionLedger` maintains an incremental model
+of the objective (mirroring the ``IncrementalObjective`` design of
+:mod:`repro.graph.objective`):
+
+* ``recv_q`` is modeled by node ``q``'s *footprint* — the distinct
+  elements its ops touch, i.e. the shard's compulsory misses, a lower
+  bound on (and at these shard sizes the bulk of) its replay loads —
+  maintained as per-element reference counts;
+* ``transfer_in_q`` is maintained *exactly*: every data-carrying edge's
+  flow elements are precomputed once
+  (:meth:`~repro.graph.dependency.DependencyGraph.edge_flow`, the same
+  rules as ``cut_transfers``), and per ``(src, dst, element)`` reference
+  counts keep the deduplicated per-pair transfer volumes correct under
+  arbitrary moves.
+
+Moving one op updates both in time proportional to its footprint and
+incident edges.  Two strategies drive the ledger: steepest-descent
+``greedy`` (move work off — or producers onto — the bottleneck node) and
+``anneal`` via the same Metropolis move/accept loop as the order search
+(:func:`repro.graph.search.anneal_minimize`); ``greedy+anneal`` chains
+them.
+
+The model is a proxy, so the refiner never trusts it: the returned
+assignment is re-measured with real per-shard replays
+(:func:`partition_cost`) against the seed, and the seed is returned
+whenever the search result does not genuinely improve the measured
+objective — refinement can never hand back a worse partition than it was
+given.  Legality is structural: every op keeps exactly one owner in
+``0..p-1`` (an exact cover of the op set), and ``keep_writers_together``
+restricts moves to whole write-groups so an owner-computes-style seed
+keeps its every-element-written-by-one-node invariant — the same
+write-set constraint :func:`~repro.parallel.executor.owner_from_assignment`
+enforces when deriving owners from a block assignment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..graph.dependency import DependencyGraph
+from ..graph.search import anneal_minimize
+from ..trace.replay import belady_replay_trace, lru_replay_trace
+from ..utils.unionfind import DisjointSets
+from .partition import balance_cap
+
+#: Refinement strategies, in the order the CLI and benches report them.
+REFINE_STRATEGIES = ("greedy", "anneal", "greedy+anneal")
+
+#: Destinations the greedy pass tries per move (the cheapest nodes first);
+#: the Metropolis strategy explores all of them.
+_GREEDY_TARGETS = 4
+
+#: Moves the greedy pass measures before falling back to the full scan —
+#: candidates are ranked first (private footprint / incoming flow), so the
+#: pool almost always contains the winning move and a pass stays far
+#: cheaper than evaluating every (unit, target) pair.
+_GREEDY_POOL = 48
+
+#: Replay policies :func:`partition_cost` accepts.  ``"belady"`` equals the
+#: executor's ``"rewrite"`` load volume by construction (furthest-next-use
+#: eviction is MIN for a fixed order); ``"lru"`` is the hardware-style count.
+EVAL_POLICIES = ("belady", "lru")
+
+
+def partition_cost(
+    graph: DependencyGraph,
+    owner: Sequence[int],
+    p: int,
+    s: int,
+    *,
+    policy: str = "belady",
+) -> int:
+    """The measured ``max_q(recv_q + transfer_in_q)`` of an assignment.
+
+    Each shard's sub-trace is sliced from the graph's compiled trace
+    (shared interning, no recompilation) and replayed by the array engine
+    for ``policy`` at capacity ``s``; incoming transfers come from
+    :meth:`~repro.graph.dependency.DependencyGraph.cut_transfers`.  This
+    is exactly what :func:`~repro.parallel.executor.execute_graph` reports
+    as ``max_recv_incl_transfers`` (``"belady"`` here matches its
+    ``"rewrite"`` and ``"belady"`` policies' loads).
+    """
+    if graph.trace is None:
+        raise ConfigurationError(
+            "partition_cost needs the graph's compiled trace; build the "
+            "graph with DependencyGraph.from_trace/from_schedule"
+        )
+    if policy not in EVAL_POLICIES:
+        raise ConfigurationError(
+            f"unknown eval policy {policy!r}; choose from {', '.join(EVAL_POLICIES)}"
+        )
+    if len(owner) != len(graph):
+        raise ConfigurationError(
+            f"owner has {len(owner)} entries for {len(graph)} ops"
+        )
+    if len(graph) and not (0 <= min(owner) and max(owner) < p):
+        raise ConfigurationError(f"owner indices must lie in 0..{p - 1}")
+    transfer_in = [0] * p
+    for (_src, dst), elems in graph.cut_transfers(list(owner)).items():
+        transfer_in[dst] += len(elems)
+    shard_ops: list[list[int]] = [[] for _ in range(p)]
+    for v, q in enumerate(owner):
+        shard_ops[q].append(v)
+    replay = belady_replay_trace if policy == "belady" else lru_replay_trace
+    worst = 0
+    for q in range(p):
+        recv = replay(graph.trace.select_ops(shard_ops[q]), s).loads if shard_ops[q] else 0
+        worst = max(worst, recv + transfer_in[q])
+    return worst
+
+
+def write_groups(graph: DependencyGraph) -> list[list[int]]:
+    """Maximal op groups linked by shared written elements.
+
+    The owner-computes granularity: keeping each group on one node keeps
+    every element written by exactly one node (no reduction class ever
+    splits).  Singleton groups are included, so the list partitions the
+    op set.
+    """
+    sets = DisjointSets(len(graph))
+    writer_of: dict[int, int] = {}
+    for v, node in enumerate(graph.nodes):
+        for key in node.write_keys:
+            u = writer_of.setdefault(key, v)
+            if u != v:
+                sets.union(v, u)
+    return sorted(sets.groups().values(), key=lambda g: g[0])
+
+
+class PartitionLedger:
+    """Incremental ``max_q(footprint_q + transfer_in_q)`` under op moves.
+
+    The refiner's search state: per-node element reference counts model
+    the receives, per-``(src, dst, element)`` reference counts keep the
+    deduplicated transfer volumes exact, and per-node mults track the
+    balance constraint.  :meth:`move` / :meth:`move_group` apply an
+    assignment change in time proportional to the moved ops' footprints
+    and incident data edges; moving back restores the state exactly, which
+    is what makes candidate evaluation (apply, read :meth:`cost`, revert)
+    cheap enough to run thousands of proposals.
+    """
+
+    def __init__(self, graph: DependencyGraph, owner: Sequence[int], p: int):
+        if len(owner) != len(graph):
+            raise ConfigurationError(
+                f"owner has {len(owner)} entries for {len(graph)} ops"
+            )
+        if len(graph) and not (0 <= min(owner) and max(owner) < p):
+            raise ConfigurationError(f"owner indices must lie in 0..{p - 1}")
+        self.graph = graph
+        self.p = p
+        self.owner = [int(q) for q in owner]
+        self.touched = [tuple(node.touched_keys()) for node in graph.nodes]
+        self.weights = [max(int(node.op.mults), 1) for node in graph.nodes]
+        # Data-carrying edges once; incidence lists drive per-move updates.
+        self.edges: list[tuple[int, int, tuple[int, ...]]] = []
+        self.incident: list[list[int]] = [[] for _ in range(len(graph))]
+        for u, v, kinds in graph.edges():
+            elems = graph.edge_flow(u, v, kinds)
+            if elems:
+                idx = len(self.edges)
+                self.edges.append((u, v, tuple(sorted(elems))))
+                self.incident[u].append(idx)
+                self.incident[v].append(idx)
+        # Footprint state.
+        self.elem_count: list[dict[int, int]] = [dict() for _ in range(p)]
+        self.footprint = [0] * p
+        self.loads = [0] * p
+        for v, q in enumerate(self.owner):
+            self.loads[q] += self.weights[v]
+            counts = self.elem_count[q]
+            for e in self.touched[v]:
+                if counts.get(e, 0) == 0:
+                    self.footprint[q] += 1
+                counts[e] = counts.get(e, 0) + 1
+        # Transfer state.
+        self.pair_count: dict[tuple[int, int, int], int] = {}
+        self.transfer_in = [0] * p
+        self.transfer_out = [0] * p
+        for idx in range(len(self.edges)):
+            self._edge_charge(idx, +1)
+
+    def _edge_charge(self, idx: int, sign: int) -> None:
+        u, v, elems = self.edges[idx]
+        src, dst = self.owner[u], self.owner[v]
+        if src == dst:
+            return
+        pair_count = self.pair_count
+        for e in elems:
+            key = (src, dst, e)
+            c = pair_count.get(key, 0) + sign
+            if c:
+                pair_count[key] = c
+            else:
+                del pair_count[key]
+            if (sign > 0 and c == 1) or (sign < 0 and c == 0):
+                self.transfer_in[dst] += sign
+                self.transfer_out[src] += sign
+
+    def move(self, v: int, q: int) -> None:
+        """Reassign op ``v`` to node ``q`` (no-op when already there)."""
+        old = self.owner[v]
+        if old == q:
+            return
+        for idx in self.incident[v]:
+            self._edge_charge(idx, -1)
+        self.owner[v] = q
+        for idx in self.incident[v]:
+            self._edge_charge(idx, +1)
+        w = self.weights[v]
+        self.loads[old] -= w
+        self.loads[q] += w
+        out_counts, in_counts = self.elem_count[old], self.elem_count[q]
+        for e in self.touched[v]:
+            c = out_counts[e] - 1
+            if c:
+                out_counts[e] = c
+            else:
+                del out_counts[e]
+                self.footprint[old] -= 1
+            c = in_counts.get(e, 0)
+            if c == 0:
+                self.footprint[q] += 1
+            in_counts[e] = c + 1
+
+    def move_group(self, group: Sequence[int], q: int) -> list[tuple[int, int]]:
+        """Move every op of ``group`` to ``q``; returns the undo list."""
+        undo = [(v, self.owner[v]) for v in group]
+        for v in group:
+            self.move(v, q)
+        return undo
+
+    def undo(self, undo: list[tuple[int, int]]) -> None:
+        """Revert a :meth:`move_group` (restore in reverse order)."""
+        for v, q in reversed(undo):
+            self.move(v, q)
+
+    def node_cost(self, q: int) -> int:
+        return self.footprint[q] + self.transfer_in[q]
+
+    def cost(self) -> int:
+        """The model objective: ``max_q(footprint_q + transfer_in_q)``."""
+        return max(
+            (f + t for f, t in zip(self.footprint, self.transfer_in)), default=0
+        )
+
+    def bottleneck(self) -> int:
+        """The node attaining :meth:`cost` (lowest index on ties)."""
+        return max(range(self.p), key=lambda q: (self.node_cost(q), -q))
+
+
+@dataclass
+class RefineResult:
+    """One refinement run: the chosen assignment plus its accounting."""
+
+    graph: DependencyGraph
+    p: int
+    s: int
+    strategy: str
+    seed_owner: tuple[int, ...]
+    owner: tuple[int, ...]
+    #: measured ``max(recv + transfer_in)`` of the seed / returned owner
+    #: (:func:`partition_cost` under ``eval_policy``).
+    seed_cost: int = 0
+    cost: int = 0
+    #: the incremental model's objective for the same two assignments.
+    model_seed: int = 0
+    model_cost: int = 0
+    moves: int = 0
+    evaluations: int = 0
+    #: True when the search's best model assignment lost to the seed on
+    #: the measured objective and the seed was returned instead.
+    reverted: bool = False
+    params: dict = field(default_factory=dict)
+
+    @property
+    def improved(self) -> bool:
+        return self.cost < self.seed_cost
+
+
+def _greedy_pass(
+    ledger: PartitionLedger,
+    units: list[list[int]],
+    op_units: list[list[int]],
+    cap: int | None,
+) -> tuple[int, list[tuple[int, int]]] | None:
+    """The best strictly-improving move off (or onto) the bottleneck node.
+
+    Candidate units are the movable units with an op on the bottleneck
+    node, plus units producing transfers into it (pulling a producer onto
+    the bottleneck removes cross flow without shrinking its work).  Every
+    candidate is applied, measured, and reverted; returns the evaluation
+    count plus the applied best move's undo list, or ``None`` at a local
+    optimum.
+    """
+    b = ledger.bottleneck()
+    current = ledger.cost()
+    # Rank the candidates by how much of the bottleneck's cost they could
+    # carry away: for units on b, the elements only they pin there
+    # (private footprint); for peer units, the flow they push into b
+    # (pulling the producer onto b deletes that transfer).
+    counts_b = ledger.elem_count[b]
+    scores: dict[int, int] = {}
+    for v, q in enumerate(ledger.owner):
+        if q != b:
+            continue
+        private = sum(1 for e in ledger.touched[v] if counts_b[e] == 1)
+        for ui in op_units[v]:
+            scores[ui] = scores.get(ui, 0) + private
+        for idx in ledger.incident[v]:
+            u, w, elems = ledger.edges[idx]
+            # Only producers feeding v matter: pulling one onto b deletes
+            # transfer_in; pulling a *consumer* of v onto b only grows b's
+            # footprint, so it never improves the objective.
+            if w == v and ledger.owner[u] != b:
+                for ui in op_units[u]:
+                    scores[ui] = scores.get(ui, 0) + len(elems)
+    ranked = sorted(scores, key=lambda ui: (-scores[ui], ui))
+    # Off-bottleneck moves only help when the destination stays below the
+    # bottleneck, so trying more than the few cheapest destinations buys
+    # nothing: prune to the _GREEDY_TARGETS lowest-cost nodes.
+    away = sorted(
+        (q for q in range(ledger.p) if q != b),
+        key=lambda q: (ledger.node_cost(q), ledger.loads[q], q),
+    )[:_GREEDY_TARGETS]
+    best: tuple[int, int, int, int] | None = None  # cost, weight, unit, target
+    evaluations = 0
+    for pool in (ranked[:_GREEDY_POOL], ranked[_GREEDY_POOL:]):
+        for ui in pool:
+            group = units[ui]
+            on_b = any(ledger.owner[v] == b for v in group)
+            targets = away if on_b else (b,)
+            for q in targets:
+                movers = [v for v in group if ledger.owner[v] != q]
+                if not movers:
+                    continue
+                weight = sum(ledger.weights[v] for v in movers)
+                if cap is not None and ledger.loads[q] + weight > cap:
+                    continue
+                undo = ledger.move_group(group, q)
+                c = ledger.cost()
+                evaluations += 1
+                ledger.undo(undo)
+                if c < current and (best is None or (c, weight) < best[:2]):
+                    best = (c, weight, ui, q)
+        if best is not None:
+            break  # steepest within the ranked pool; full scan only to
+            # certify a local optimum
+    if best is None:
+        return None
+    _cost, _w, ui, q = best
+    return evaluations, ledger.move_group(units[ui], q)
+
+
+def refine_partition(
+    graph: DependencyGraph,
+    owner: Sequence[int],
+    p: int,
+    s: int,
+    *,
+    strategy: str = "greedy",
+    iters: int = 600,
+    seed: int = 0,
+    max_moves: int = 256,
+    balance_slack: float | None = 1.5,
+    keep_writers_together: bool = False,
+    eval_policy: str = "belady",
+    t_start: float = 1.5,
+    t_end: float = 0.05,
+) -> RefineResult:
+    """Locally search the assignment space around a seed ``owner[]``.
+
+    ``strategy`` is one of :data:`REFINE_STRATEGIES`.  ``balance_slack``
+    caps every node's mults at ``slack * total / p`` (exact integer cap,
+    :func:`~repro.parallel.partition.balance_cap`; relaxed to the seed's
+    own maximum when the seed already exceeds it); ``None`` disables the
+    constraint.  ``keep_writers_together`` restricts moves to whole
+    write-groups, preserving an owner-computes seed's exclusive-writer
+    invariant.  The returned assignment is guaranteed — by a final
+    measured comparison under ``eval_policy`` — to never exceed the seed's
+    ``max(recv + transfer_in)``.
+    """
+    if strategy not in REFINE_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown refine strategy {strategy!r}; "
+            f"choose from {', '.join(REFINE_STRATEGIES)}"
+        )
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    if s < 1:
+        raise ConfigurationError(f"S must be >= 1, got {s}")
+    if iters < 0:
+        raise ConfigurationError(f"iters must be >= 0, got {iters}")
+    if max_moves < 0:
+        raise ConfigurationError(f"max_moves must be >= 0, got {max_moves}")
+
+    ledger = PartitionLedger(graph, owner, p)
+    seed_owner = tuple(ledger.owner)
+    model_seed = ledger.cost()
+    params: dict = {
+        "strategy": strategy, "iters": iters, "seed": seed,
+        "max_moves": max_moves, "balance_slack": balance_slack,
+        "keep_writers_together": keep_writers_together,
+    }
+
+    # Movable units: write-groups when the exclusive-writer invariant must
+    # survive; otherwise single ops plus whole reduction classes (the group
+    # moves that relocate a ``+=`` chain without ever splitting it).
+    if keep_writers_together:
+        units = write_groups(graph)
+    else:
+        units = [[v] for v in range(len(graph))]
+        units.extend(graph.reduction_classes())
+    op_units: list[list[int]] = [[] for _ in range(len(graph))]
+    for ui, group in enumerate(units):
+        for v in group:
+            op_units[v].append(ui)
+
+    cap = None
+    if balance_slack is not None:
+        cap = max(
+            balance_cap(sum(ledger.weights), p, balance_slack),
+            max(ledger.loads, default=0),
+        )
+
+    best_owner = list(seed_owner)
+    best_model = model_seed
+    moves = 0
+    evaluations = 0
+
+    def capture_if_best() -> None:
+        nonlocal best_owner, best_model
+        c = ledger.cost()
+        if c < best_model:
+            best_owner, best_model = list(ledger.owner), c
+
+    if strategy in ("greedy", "greedy+anneal"):
+        while moves < max_moves:
+            step = _greedy_pass(ledger, units, op_units, cap)
+            if step is None:
+                break
+            n_evals, _undo = step
+            evaluations += n_evals
+            moves += 1
+            capture_if_best()
+
+    if strategy in ("anneal", "greedy+anneal") and len(graph) and p > 1:
+        rng = random.Random(seed)
+        group_units = [g for g in units if len(g) > 1]
+
+        def step(step_rng: random.Random):
+            if group_units and step_rng.random() < 0.3:
+                group = group_units[step_rng.randrange(len(group_units))]
+            else:
+                group = units[op_units[step_rng.randrange(len(graph))][0]]
+            q = step_rng.randrange(p)
+            if all(ledger.owner[v] == q for v in group):
+                return None
+            if cap is not None:
+                weight = sum(
+                    ledger.weights[v] for v in group if ledger.owner[v] != q
+                )
+                if ledger.loads[q] + weight > cap:
+                    return None
+            undo = ledger.move_group(group, q)
+            cand = ledger.cost()
+            ledger.undo(undo)
+
+            def commit() -> None:
+                nonlocal moves
+                ledger.move_group(group, q)
+                moves += 1
+                capture_if_best()
+
+            return cand, commit
+
+        _final, stats = anneal_minimize(
+            ledger.cost(), step, iters=iters, rng=rng,
+            t_start=t_start, t_end=t_end,
+        )
+        evaluations += stats.evaluations
+        params["accepted"] = stats.accepted
+        params["skipped"] = stats.skipped
+
+    # The model ranked the candidates; the measured objective decides.
+    # Re-measuring seed and winner costs two shard replays total — never
+    # one per proposal — and makes "never worse than the seed" a hard
+    # postcondition rather than a hope.
+    seed_cost = partition_cost(graph, seed_owner, p, s, policy=eval_policy)
+    refined_cost = (
+        partition_cost(graph, best_owner, p, s, policy=eval_policy)
+        if tuple(best_owner) != seed_owner
+        else seed_cost
+    )
+    reverted = refined_cost > seed_cost
+    if reverted:
+        best_owner, refined_cost, best_model = list(seed_owner), seed_cost, model_seed
+    return RefineResult(
+        graph=graph,
+        p=p,
+        s=s,
+        strategy=strategy,
+        seed_owner=seed_owner,
+        owner=tuple(best_owner),
+        seed_cost=seed_cost,
+        cost=refined_cost,
+        model_seed=model_seed,
+        model_cost=best_model,
+        moves=moves,
+        evaluations=evaluations,
+        reverted=reverted,
+        params=params,
+    )

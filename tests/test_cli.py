@@ -98,6 +98,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "locality" in out and "level-greedy" not in out
 
+    def test_parallel_refine_and_makespan(self, capsys):
+        assert main(
+            ["parallel", "--kernel", "tbs", "--n", "26", "--m", "3", "--s", "15",
+             "--p", "2", "--partitioners", "level-greedy", "--refine", "greedy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "level-greedy+refine" in out
+        assert "makespan" in out and "max xfer out" in out
+        # critical path is labeled in both units (the node-count span used
+        # to print unit-less next to mult counts)
+        assert "ops" in out and "mults weighted" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

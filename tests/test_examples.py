@@ -59,6 +59,12 @@ class TestExamples:
         assert "owner-computes" in out
         assert "bit-identical = True" in out
 
+    def test_partition_refinement(self, capsys):
+        load_example("partition_refinement").main()
+        out = capsys.readouterr().out
+        assert "never worse" in out and "False" not in out
+        assert "makespan" in out and "peak<=S everywhere = True" in out
+
     @pytest.mark.slow
     def test_gram_matrix(self, capsys):
         load_example("gram_matrix_out_of_core").main()

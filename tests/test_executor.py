@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.graph.compare import record_case
-from repro.graph.dependency import DependencyGraph
+from repro.graph.dependency import DependencyGraph, OpNode
 from repro.graph.rewriter import rewrite_schedule
 from repro.parallel import (
     PARTITIONERS,
@@ -77,6 +77,27 @@ class TestPartitioners:
             max(int(n.op.mults), 1) for n in tbs_graph.nodes
         )
 
+    def test_locality_slack_one_accepts_exact_balance(self):
+        # Regression: the float cap `slack * sum(weights) / p` rounded below
+        # the exact bound when the total is unrepresentable, so at
+        # balance_slack=1.0 every node was "full", the cap fell back to
+        # all-nodes, and affinity piled uniform ops onto one node.  The
+        # integer cap keeps exact balance reachable: three uniform ops that
+        # share an operand must still spread one-per-node.
+        class _HugeOp:
+            mults = 3002399751580331  # 3 * mults == 2**53 + 1 (inexact)
+
+        nodes = [
+            OpNode(
+                index=i, op=_HugeOp(),
+                input_keys=frozenset({99}), write_keys=frozenset({100 + i}),
+            )
+            for i in range(3)
+        ]
+        graph = DependencyGraph(nodes)
+        owner = partition_graph(graph, 3, "locality", balance_slack=1.0)
+        assert sorted(owner) == [0, 1, 2]
+
     def test_bad_args(self, tbs_graph):
         with pytest.raises(ConfigurationError):
             partition_graph(tbs_graph, 0)
@@ -141,8 +162,30 @@ class TestExecutorSharded:
                              policy="lru", graph=tbs_graph)
         flows = tbs_graph.cut_transfers(list(summ.owner))
         assert summ.total_transfer == sum(len(e) for e in flows.values())
-        assert sum(r.transfer_out for r in summ.shards) == summ.total_transfer
+        # global in/out symmetry: every transferred element leaves exactly
+        # one shard and arrives at exactly one (asserted inside
+        # execute_graph too; total_transfer used to sum only the receiving
+        # side with no cross-check against the senders)
+        assert summ.total_transfer_out == summ.total_transfer
+        assert summ.max_transfer_out <= summ.total_transfer_out
         assert summ.max_recv_incl_transfers >= summ.max_recv
+
+    def test_summary_carries_weighted_span_and_makespan(self, tbs_case, tbs_graph):
+        summ = execute_graph(tbs_case.schedule, 4, S, partitioner="level-greedy",
+                             policy="lru", graph=tbs_graph, alpha=2.0, beta=0.5)
+        mults = [float(n.op.mults) for n in tbs_graph.nodes]
+        # units: critical_path counts ops, critical_path_mults counts work
+        assert summ.critical_path == tbs_graph.critical_path_length()
+        assert summ.critical_path_mults == int(tbs_graph.critical_path_cost(mults))
+        assert (summ.alpha, summ.beta) == (2.0, 0.5)
+        assert summ.makespan >= max(summ.critical_path_mults,
+                                    max(r.mults for r in summ.shards))
+
+    def test_partitioner_label_override(self, tbs_case, tbs_graph):
+        owner = partition_graph(tbs_graph, 3, "owner-computes")
+        summ = execute_graph(tbs_case.schedule, 3, S, owner=owner, policy="lru",
+                             graph=tbs_graph, partitioner_label="oc+refine")
+        assert summ.partitioner == "oc+refine"
 
     def test_empty_shards_report_zero(self, tbs_case):
         # more nodes than ops is legal; idle shards report zeros

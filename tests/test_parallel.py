@@ -8,6 +8,7 @@ from repro.kernels.flops import syrk_mults
 from repro.parallel.partition import (
     BlockSpec,
     _deal,
+    balance_cap,
     square_tile_assignment,
     triangle_block_assignment,
 )
@@ -109,6 +110,45 @@ class TestDealBalance:
     def test_bad_p(self):
         with pytest.raises(ConfigurationError):
             _deal([], 0)
+
+
+class TestBalanceCap:
+    """Regression: the float expression ``slack * total / p`` can round
+    below the true bound, so ``balance_slack=1.0`` spuriously rejected
+    exact-balance placements; ``balance_cap`` stays exact."""
+
+    def test_simple_values(self):
+        assert balance_cap(30, 3, 1.0) == 10
+        assert balance_cap(10, 3, 1.2) == 4  # floor(4.0)
+        assert balance_cap(7, 2, 1.0) == 3
+        assert balance_cap(0, 4, 1.0) == 0
+
+    def test_exact_at_unrepresentable_total(self):
+        # 3w = 2**53 + 1 loses its last bit as a float; float division then
+        # lands *below* w and the old cap rejected the exact balance w.
+        w = 3002399751580331
+        total = 3 * w
+        assert float(total) != total  # the premise: total is inexact
+        assert (1.0 * total) / 3 < w  # the old float cap was wrong...
+        assert balance_cap(total, 3, 1.0) == w  # ...the exact one is not
+
+    def test_iff_property_random(self):
+        from fractions import Fraction
+
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            total = int(rng.integers(0, 2**60))
+            p = int(rng.integers(1, 33))
+            slack = float(rng.choice([1.0, 1.2, 1.5, 0.75]))
+            cap = balance_cap(total, p, slack)
+            bound = Fraction(slack).limit_denominator(10**6) * total / p
+            assert cap <= bound < cap + 1
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            balance_cap(10, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            balance_cap(10, 2, -0.5)
 
 
 class TestSimulation:
