@@ -26,8 +26,6 @@ Run with ``--smoke`` to shrink the sweep for CI (claims about absolute
 speedups are skipped; bit-identity is still asserted).
 """
 
-import json
-import os
 import time
 
 import numpy as np
@@ -111,15 +109,12 @@ def sweep_one(n: int):
 
 
 def write_bench_json(rows):
-    path = os.environ.get(
-        "BENCH_E13_JSON",
-        os.path.join(os.path.dirname(__file__), "out", "bench_e13_trace.json"),
+    from common import write_bench_json as write_common
+
+    return write_common(
+        "e13_trace_replay_throughput", rows,
+        env_var="BENCH_E13_JSON", default_name="bench_e13_trace.json",
     )
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    payload = {"experiment": "e13_trace_replay_throughput", "rows": rows}
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    return path
 
 
 @pytest.mark.benchmark(group="e13")

@@ -33,9 +33,6 @@ BENCH JSON (``benchmarks/out/bench_e16_refine.json`` or ``$BENCH_E16_JSON``)
 records seed/refined volumes, refined/bound ratios and makespans per row.
 """
 
-import json
-import os
-
 import pytest
 
 from repro.core.bounds import parallel_syrk_lower_bound_per_node
@@ -80,15 +77,12 @@ def run_sweep(n: int, max_moves: int):
 
 
 def write_bench_json(payload_rows):
-    path = os.environ.get(
-        "BENCH_E16_JSON",
-        os.path.join(os.path.dirname(__file__), "out", "bench_e16_refine.json"),
+    from common import write_bench_json as write_common
+
+    return write_common(
+        "e16_partition_refinement", payload_rows,
+        env_var="BENCH_E16_JSON", default_name="bench_e16_refine.json",
     )
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    payload = {"experiment": "e16_partition_refinement", "rows": payload_rows}
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    return path
 
 
 @pytest.mark.benchmark(group="e16")

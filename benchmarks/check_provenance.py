@@ -1,0 +1,87 @@
+"""Schema check: every benchmark/report artifact carries a provenance block.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_provenance.py [out_dir]
+
+Scans ``benchmarks/out/*.json`` (or the given directory) and fails — exit
+code 1, one line per offender — unless every JSON document has a
+``"provenance"`` object with the standard fields of
+:func:`repro.obs.provenance.provenance_stamp` at the expected schema
+version.  Run reports (``repro.report/v1``) and Chrome trace timelines are
+validated by the same rule: all three writers stamp the block at the top
+level.  CI runs this after the smoke benchmarks, so an artifact writer
+that silently drops its stamp cannot merge.
+
+Named ``check_*`` (not ``test_*``/``bench_*``) on purpose: it is a CI
+gate over whatever files exist on disk, not a pytest-collected case.
+"""
+
+import glob
+import json
+import os
+import sys
+
+from repro.obs.provenance import SCHEMA_VERSION
+
+#: Fields every provenance block must carry (values may be null when the
+#: environment cannot supply them — e.g. no git binary — but the keys must
+#: exist so their absence is always distinguishable from "not stamped").
+REQUIRED_FIELDS = (
+    "schema_version",
+    "git_sha",
+    "git_dirty",
+    "host",
+    "platform",
+    "python",
+    "numpy",
+    "timestamp_utc",
+)
+
+
+def check_file(path):
+    """Problems found in one artifact (empty list means it passes)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top-level JSON value is not an object"]
+    prov = doc.get("provenance")
+    if not isinstance(prov, dict):
+        return ["missing 'provenance' object"]
+    problems = [f"provenance lacks {name!r}" for name in REQUIRED_FIELDS if name not in prov]
+    if prov.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"provenance schema_version {prov.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    return problems
+
+
+def main(argv):
+    out_dir = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out"
+    )
+    paths = sorted(glob.glob(os.path.join(out_dir, "*.json")))
+    if not paths:
+        print(f"no JSON artifacts under {out_dir}; nothing to check")
+        return 1
+    failures = 0
+    for path in paths:
+        problems = check_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {path}: {problem}")
+        else:
+            print(f"ok   {path}")
+    if failures:
+        print(f"{failures}/{len(paths)} artifacts missing provenance")
+        return 1
+    print(f"all {len(paths)} artifacts carry provenance (schema v{SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite's JSON artifacts.
+
+Every benchmark that persists measurements writes through
+:func:`write_bench_json`, so all ``benchmarks/out/*.json`` payloads share
+one shape::
+
+    {
+      "experiment": "<name>",
+      "provenance": {...},   # repro.obs.provenance stamp (git SHA, host,
+                             # python/numpy versions, UTC timestamp)
+      "rows": [...]          # the experiment's measurements, verbatim
+    }
+
+The provenance block is what makes two artifacts with different numbers
+comparable after the fact; ``benchmarks/check_provenance.py`` (run in CI)
+fails any artifact that lacks it.
+"""
+
+import json
+import os
+
+from repro.obs.provenance import provenance_stamp
+
+
+def bench_json_path(env_var, default_name):
+    """Artifact path: ``$env_var`` override or ``benchmarks/out/<name>``."""
+    return os.environ.get(
+        env_var, os.path.join(os.path.dirname(__file__), "out", default_name)
+    )
+
+
+def write_bench_json(experiment, rows, *, env_var, default_name):
+    """Write one provenance-stamped benchmark payload; returns its path."""
+    path = bench_json_path(env_var, default_name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {
+        "experiment": experiment,
+        "provenance": provenance_stamp(),
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path

@@ -25,6 +25,14 @@ Commands
               per-node lower bounds, plus a mults-weighted makespan per
               row; ``--refine`` additionally runs the transfer-aware
               partition refiner on each partitioner's assignment
+``report``    pretty-print a saved run report (provenance, phase
+              wall-times, engine counters, convergence curves)
+
+The ``search`` and ``parallel`` commands accept ``--report PATH`` (write
+the run's probe state — provenance, timers, counters, convergence series —
+as a ``repro.report/v1`` JSON document) and ``--timeline PATH`` (export
+the best row's simulated schedule as a Chrome trace-event JSON that
+``chrome://tracing`` and ui.perfetto.dev open directly).
 
 Examples
 --------
@@ -43,6 +51,9 @@ Examples
     python -m repro trace info tbs.npz
     python -m repro parallel --kernel tbs --n 40 --m 6 --s 15 --p 1 4 16
     python -m repro parallel --kernel tbs --n 40 --m 6 --s 15 --p 4 --refine greedy
+    python -m repro parallel --kernel tbs --n 120 --m 6 --s 15 --p 4 --refine anneal \\
+        --report run.json --timeline run_trace.json
+    python -m repro report run.json
 """
 
 from __future__ import annotations
@@ -57,6 +68,7 @@ from .core.bounds import literature_bounds_table
 from .graph.compare import CASES
 from .graph.scheduler import HEURISTICS
 from .graph.search import STRATEGIES
+from .obs.probe import probe_scope, timed
 from .parallel.executor import PARTITIONERS, POLICIES
 from .parallel.refine import REFINE_STRATEGIES
 from .utils.fmt import Table, banner, format_float, format_int
@@ -192,8 +204,6 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    import time
-
     import numpy as np
 
     from .analysis.lru_replay import lru_replay
@@ -236,32 +246,43 @@ def _cmd_search(args: argparse.Namespace) -> int:
                f"{opt.loads / case.lower_bound:.3f}", "-", "-"])
     best_heur = None
     for heuristic in args.heuristics:
-        t0 = time.perf_counter()
-        rr = reschedule(case.trace, args.s, heuristic, graph=graph,
-                        relax_reductions=args.relax)
-        dt = time.perf_counter() - t0
+        with timed(f"search.heuristic.{heuristic}") as tm:
+            rr = reschedule(case.trace, args.s, heuristic, graph=graph,
+                            relax_reductions=args.relax)
         best_heur = min(best_heur, rr.loads) if best_heur is not None else rr.loads
         t.add_row([f"heuristic:{heuristic}", format_int(rr.loads),
                    f"{rr.loads / opt.loads:.3f}",
                    f"{rr.loads / case.lower_bound:.3f}",
-                   f"{max_error(rr.schedule):.2e}", f"{dt:.2f}"])
+                   f"{max_error(rr.schedule):.2e}", f"{tm.elapsed:.2f}"])
     kwargs = {"anneal": {"iters": args.iters, "seed": args.seed},
               "beam": {"width": args.width},
               "lookahead": {"depth": args.depth}}
     best_search = None
+    best_order = None
     for strategy in strategies:
-        t0 = time.perf_counter()
-        found = search_order(graph, args.s, strategy,
-                             relax_reductions=args.relax, **kwargs[strategy])
-        rw = rewrite_schedule(case.trace, args.s, found.order, graph=graph,
-                              relax_reductions=args.relax)
-        dt = time.perf_counter() - t0
-        best_search = min(best_search, rw.loads) if best_search is not None else rw.loads
+        with timed(f"search.strategy.{strategy}") as tm:
+            found = search_order(graph, args.s, strategy,
+                                 relax_reductions=args.relax, **kwargs[strategy])
+            rw = rewrite_schedule(case.trace, args.s, found.order, graph=graph,
+                                  relax_reductions=args.relax)
+        if best_search is None or rw.loads < best_search:
+            best_search, best_order = rw.loads, (strategy, found.order)
         t.add_row([f"search:{strategy}", format_int(rw.loads),
                    f"{rw.loads / opt.loads:.3f}",
                    f"{rw.loads / case.lower_bound:.3f}",
-                   f"{max_error(rw.schedule):.2e}", f"{dt:.2f}"])
+                   f"{max_error(rw.schedule):.2e}", f"{tm.elapsed:.2f}"])
     print(t.render())
+    if args.timeline and best_order is not None:
+        from .obs.timeline import export_timeline
+        from .parallel.makespan import makespan_model
+
+        strategy, order = best_order
+        span = makespan_model(graph, [0] * len(graph), order=list(order),
+                              relax_reductions=args.relax)
+        export_timeline(graph, span, args.timeline,
+                        relax_reductions=args.relax,
+                        label=f"search:{strategy} {args.kernel} n={args.n}")
+        print(f"timeline written to {args.timeline}")
     if best_heur is not None and best_search is not None:
         verdict = "beats" if best_search < best_heur else "matches" if best_search == best_heur else "trails"
         print(f"\nbest searched order {verdict} the best one-shot heuristic: "
@@ -273,8 +294,6 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    import time
-
     from .analysis.lru_replay import lru_replay_reference
     from .graph.compare import record_case
     from .graph.policies import belady_replay_reference
@@ -339,12 +358,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for capacity in args.capacity:
         for policy in policies:
             fast = lru_replay_trace if policy == "lru" else belady_replay_trace
-            t0 = time.perf_counter()
-            r = fast(trace, capacity)
-            dt = time.perf_counter() - t0
+            with timed(f"trace.replay.{policy}") as tm:
+                r = fast(trace, capacity)
             t.add_row(
                 [capacity, policy, format_int(r.loads), format_int(r.stores),
-                 f"{r.miss_rate:.4f}", f"{dt:.3f}"]
+                 f"{r.miss_rate:.4f}", f"{tm.elapsed:.3f}"]
             )
             if args.check:
                 ref_fn = (
@@ -383,8 +401,9 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         return None  # syr2k: no dedicated per-node closed form yet
 
     partitioners = tuple(args.partitioners) if args.partitioners else PARTITIONERS
-    case = record_case(args.kernel, args.n, args.m, args.s)
-    graph = DependencyGraph.from_trace(case.trace)
+    with timed("parallel.record"):
+        case = record_case(args.kernel, args.n, args.m, args.s)
+        graph = DependencyGraph.from_trace(case.trace)
     mults = [float(node.op.mults) for node in graph.nodes]
     print(banner(
         f"sharded DAG executor: {args.kernel} n={args.n} m={args.m} "
@@ -401,7 +420,10 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
          "cut", "imbalance", "peak<=S", "recv/bound", "makespan"]
     )
 
+    best: "tuple | None" = None  # (summary, label) of the lowest makespan
+
     def add_row(p: int, label: str, summ) -> None:
+        nonlocal best
         bound = bound_for(p)
         ratio = f"{summ.max_recv / bound:.3f}" if bound and bound > 0 else "-"
         t.add_row(
@@ -412,6 +434,8 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
              f"{summ.compute_imbalance:.3f}", str(summ.peak_ok), ratio,
              format_int(int(summ.makespan))]
         )
+        if summ.p > 1 and (best is None or summ.makespan < best[0].makespan):
+            best = (summ, label)
 
     for p in args.p:
         # Every partitioner degenerates to the same trivial assignment at
@@ -423,13 +447,14 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             )
             add_row(p, part if p > 1 else "(any)", summ)
             if args.refine and p > 1:
-                refined = refine_partition(
-                    graph, list(summ.owner), p, args.s, strategy=args.refine,
-                    seed=args.seed,
-                    # judge never-worse under the matching counting policy
-                    # (lru for --policy lru, the belady floor otherwise)
-                    eval_policy="lru" if args.policy == "lru" else "belady",
-                )
+                with timed(f"parallel.refine.{args.refine}"):
+                    refined = refine_partition(
+                        graph, list(summ.owner), p, args.s, strategy=args.refine,
+                        seed=args.seed,
+                        # judge never-worse under the matching counting policy
+                        # (lru for --policy lru, the belady floor otherwise)
+                        eval_policy="lru" if args.policy == "lru" else "belady",
+                    )
                 summ = execute_graph(
                     case.schedule, p, args.s, owner=refined.owner,
                     policy=args.policy, graph=graph,
@@ -438,12 +463,29 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
                 )
                 add_row(p, f"{part}+refine", summ)
     print(t.render())
+    if args.timeline:
+        from .obs.timeline import export_timeline
+
+        summ, label = best if best is not None else (summ, "(any)")
+        export_timeline(
+            graph, summ.makespan_result, args.timeline,
+            label=f"{args.kernel} n={args.n} S={args.s} p={summ.p} {label}",
+        )
+        print(f"timeline written to {args.timeline} "
+              f"(best row: p={summ.p} {label}, makespan {int(summ.makespan):,})")
     print("\n'recv' counts each node's loads (receives, §2.2 equivalence); 'xfer' is")
     print("the cross-shard slice of it carried by cut RAW/reduction edges (global")
     print("in == out, asserted), 'max xfer out' the busiest sender's share, and")
     print("'recv+xfer' the per-node sum — the quantity `--refine` minimizes.")
     print("'makespan' is the weighted latency model (per-op cost = mults, per-cross-")
     print(f"edge cost = {args.alpha:g} + {args.beta:g}*elements); critical path is printed in both units.")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import load_report, render_report
+
+    print(render_report(load_report(args.path)))
     return 0
 
 
@@ -510,6 +552,12 @@ def main(argv: list[str] | None = None) -> int:
     p_search.add_argument("--depth", type=int, default=4, help="lookahead depth")
     p_search.add_argument("--iters", type=int, default=800, help="annealing iterations")
     p_search.add_argument("--seed", type=int, default=0, help="annealing seed")
+    p_search.add_argument("--report", default=None, metavar="PATH",
+                          help="write the run report (provenance, timers, "
+                               "counters, convergence series) as JSON")
+    p_search.add_argument("--timeline", default=None, metavar="PATH",
+                          help="export the best searched order as a Chrome "
+                               "trace-event JSON (single-node timeline)")
 
     p_trace = sub.add_parser("trace", help="compiled trace IR: compile/replay/info")
     tsub = p_trace.add_subparsers(dest="trace_command", required=True)
@@ -550,9 +598,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-cross-edge latency constant of the makespan model")
     p_par.add_argument("--beta", type=float, default=1.0,
                        help="per-transferred-element latency of the makespan model")
+    p_par.add_argument("--report", default=None, metavar="PATH",
+                       help="write the run report (provenance, timers, "
+                            "counters, convergence series) as JSON")
+    p_par.add_argument("--timeline", default=None, metavar="PATH",
+                       help="export the lowest-makespan row as a Chrome "
+                            "trace-event JSON (one track per node, transfers "
+                            "as flow arrows)")
+
+    p_rep = sub.add_parser("report", help="pretty-print a saved run report")
+    p_rep.add_argument("path", help="a --report JSON written by search/parallel")
 
     args = parser.parse_args(argv)
-    return {
+    handler = {
         "demo": _cmd_demo,
         "figures": _cmd_figures,
         "sweep": _cmd_sweep,
@@ -562,7 +620,25 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "trace": _cmd_trace,
         "parallel": _cmd_parallel,
-    }[args.command](args)
+        "report": _cmd_report,
+    }[args.command]
+    report_path = getattr(args, "report", None)
+    if not report_path:
+        return handler(args)
+    # --report: run the whole command under a recording probe, then save
+    # everything it observed as one provenance-stamped JSON document.
+    from .obs.report import build_report, save_report
+
+    with probe_scope() as probe:
+        rc = handler(args)
+    params = {
+        k: v for k, v in vars(args).items() if k not in ("command", "report")
+    }
+    save_report(
+        build_report(probe, command=args.command, params=params), report_path
+    )
+    print(f"report written to {report_path}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

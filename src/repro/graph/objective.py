@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.probe import get_probe
 from ..trace.compiled import CompiledTrace
 from ..trace.replay import (
     LruCursor,
@@ -178,6 +179,9 @@ def order_cost(
     """
     if policy not in ("lru", "belady"):
         raise ConfigurationError(f"unknown policy {policy!r}; use 'lru' or 'belady'")
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("search.order_costs")
     reordered = trace.reorder(order)
     if policy == "belady":
         return belady_replay_trace(reordered, capacity).loads

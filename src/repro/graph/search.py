@@ -38,6 +38,12 @@ callbacks, geometric cooling, caller-owned best tracking) that the
 transfer-aware partition refiner (:mod:`repro.parallel.refine`) drives
 over shard assignments with the exact same accept rule.
 
+Every strategy can narrate itself: ``record_convergence=True`` (or an
+enabled :mod:`repro.obs.probe`) attaches iteration-level telemetry to the
+result — the annealer's ``(iter, temp, cost, best, accepted)`` series,
+beam search's per-position best-cost trace — without touching any RNG, so
+recorded and unrecorded runs return bit-identical orders.
+
 Every strategy is deterministic given its parameters (annealing takes a
 seed) and every returned order is validated against the graph before it
 leaves this module.  Downstream, a returned order is dressed into an
@@ -54,6 +60,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import ConfigurationError, ScheduleError
+from ..obs.convergence import AnnealSeries, RoundSeries
+from ..obs.probe import get_probe
 from ..sched.ops import ComputeOp
 from ..trace.replay import LruCursor
 from .dependency import DependencyGraph
@@ -77,6 +85,18 @@ class AnnealStats:
     accepted: int = 0
     skipped: int = 0      # proposals dropped before costing (no-op/illegal)
 
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted share of the *costed* proposals (0.0 when none were).
+
+        Skipped (no-op/illegal) proposals never reached the accept rule,
+        so they are excluded — this is the Metropolis acceptance rate the
+        cooling schedule is usually tuned against.
+        """
+        if self.evaluations == 0:
+            return 0.0
+        return self.accepted / self.evaluations
+
 
 def anneal_minimize(
     cost: float,
@@ -86,6 +106,7 @@ def anneal_minimize(
     rng: random.Random,
     t_start: float = 1.5,
     t_end: float = 0.05,
+    series: "AnnealSeries | None" = None,
 ) -> tuple[float, AnnealStats]:
     """The Metropolis move/accept loop shared by every annealer here.
 
@@ -93,31 +114,47 @@ def anneal_minimize(
     ``(candidate_cost, commit)`` — calling ``commit()`` applies the move to
     the caller's state — or ``None`` for a no-op/illegal proposal (the
     temperature still cools, matching a rejected move).  The loop owns
-    cooling (geometric from ``t_start`` to ``t_end``) and the accept rule
-    (downhill always; uphill with probability ``exp(-dc / temp)``); the
-    caller owns every piece of state, including best-seen tracking (do it
-    inside ``commit``).  :func:`anneal_search` drives it over compute
-    orders; :func:`repro.parallel.refine.refine_partition` drives the same
-    loop over shard assignments.  Returns the final accepted cost and the
+    cooling (geometric from ``t_start`` to ``t_end``; a single iteration
+    runs entirely at ``t_start`` — the ``iters=1`` schedule has no second
+    temperature to cool toward) and the accept rule (downhill always;
+    uphill with probability ``exp(-dc / temp)``); the caller owns every
+    piece of state, including best-seen tracking (do it inside
+    ``commit``).  :func:`anneal_search` drives it over compute orders;
+    :func:`repro.parallel.refine.refine_partition` drives the same loop
+    over shard assignments.  Returns the final accepted cost and the
     proposal counters.
+
+    ``series`` opts into per-iteration convergence telemetry: one
+    ``(iter, temp, cost, best, accepted)`` row per iteration, where
+    ``best`` is the lowest accepted cost so far (seeded with the starting
+    cost).  Recording touches no RNG state, so a recorded run is
+    bit-identical to an unrecorded one.
     """
     stats = AnnealStats()
-    cooling = (t_end / t_start) ** (1.0 / max(1, iters - 1))
+    cooling = 1.0 if iters <= 1 else (t_end / t_start) ** (1.0 / (iters - 1))
     temp = t_start
+    best = cost
     for _ in range(iters):
         stats.iters += 1
         proposal = step(rng)
         if proposal is None:
             stats.skipped += 1
+            if series is not None:
+                series.add(stats.iters - 1, temp, cost, best, False)
             temp *= cooling
             continue
         cand, commit = proposal
         stats.evaluations += 1
         dc = cand - cost
-        if dc <= 0 or rng.random() < math.exp(-dc / temp):
+        took = dc <= 0 or rng.random() < math.exp(-dc / temp)
+        if took:
             commit()
             cost = cand
             stats.accepted += 1
+            if cost < best:
+                best = cost
+        if series is not None:
+            series.add(stats.iters - 1, temp, cost, best, took)
         temp *= cooling
     return cost, stats
 
@@ -138,6 +175,10 @@ class SearchResult:
     #: or annealing proposals) — the search-effort axis of the benches.
     evaluations: int = 0
     params: dict = field(default_factory=dict)
+    #: convergence telemetry (an :class:`~repro.obs.convergence.AnnealSeries`
+    #: or :class:`~repro.obs.convergence.RoundSeries`) when the run was
+    #: recorded — ``record_convergence=True`` or an enabled probe; else None.
+    convergence: "AnnealSeries | RoundSeries | None" = None
 
     def ops(self) -> list[ComputeOp]:
         """The compute ops in searched order."""
@@ -157,6 +198,7 @@ def _finish(
     cost: int,
     evaluations: int,
     params: dict,
+    convergence: "AnnealSeries | RoundSeries | None" = None,
 ) -> SearchResult:
     if len(order) != len(graph):
         raise ScheduleError(
@@ -164,6 +206,12 @@ def _finish(
         )
     if not graph.is_valid_order(order, relax_reductions=relax):
         raise ScheduleError(f"{strategy} search produced an illegal order")
+    probe = get_probe()
+    if probe.enabled:
+        probe.count(f"search.{strategy}.runs")
+        probe.count(f"search.{strategy}.evaluations", evaluations)
+        if convergence is not None:
+            probe.attach(f"convergence.search.{strategy}", convergence)
     return SearchResult(
         graph=graph,
         strategy=strategy,
@@ -173,6 +221,7 @@ def _finish(
         cost=cost,
         evaluations=evaluations,
         params=params,
+        convergence=convergence,
     )
 
 
@@ -187,6 +236,7 @@ def beam_search(
     width: int = 4,
     expand: int = 3,
     relax_reductions: bool = False,
+    record_convergence: bool = False,
 ) -> SearchResult:
     """Top-``width`` partial orders, scored by incremental LRU loads.
 
@@ -195,14 +245,21 @@ def beam_search(
     stored as parent-linked tails (cloning a growing list per child would
     be quadratic); ties break toward the lower op index everywhere, so
     the result is deterministic.
+
+    With ``record_convergence=True`` (or an enabled probe) the result
+    carries a :class:`~repro.obs.convergence.RoundSeries` of the beam
+    head's accumulated cost per emitted position.
     """
     if width < 1 or expand < 1:
         raise ConfigurationError("beam width and expand must be >= 1")
     n = len(graph)
+    series = None
+    if record_convergence or get_probe().enabled:
+        series = RoundSeries(label=f"beam width={width}", engine="beam")
     root = IncrementalObjective(graph, capacity, relax_reductions=relax_reductions)
     beams: list[tuple[IncrementalObjective, tuple | None]] = [(root, None)]
     evaluations = 0
-    for _ in range(n):
+    for step in range(n):
         children: list[tuple[int, int, IncrementalObjective, tuple]] = []
         for obj, tail in beams:
             for _miss, v in obj.candidates(expand):
@@ -214,6 +271,8 @@ def beam_search(
             raise ScheduleError("beam search stalled — dependence cycle")
         children.sort(key=lambda c: (c[0], c[1]))
         beams = [(c[2], c[3]) for c in children[:width]]
+        if series is not None:
+            series.add(step, beams[0][0].cost)
     best_obj, best_tail = min(beams, key=lambda b: b[0].cost)
     order: list[int] = []
     while best_tail is not None:
@@ -222,7 +281,7 @@ def beam_search(
     order.reverse()
     return _finish(
         graph, "beam", relax_reductions, capacity, order, best_obj.cost,
-        evaluations, {"width": width, "expand": expand},
+        evaluations, {"width": width, "expand": expand}, series,
     )
 
 
@@ -313,6 +372,7 @@ def anneal_search(
     max_segment: int = 12,
     t_start: float = 1.5,
     t_end: float = 0.05,
+    record_convergence: bool = False,
 ) -> SearchResult:
     """Simulated annealing over reduction-class interleavings.
 
@@ -333,6 +393,12 @@ def anneal_search(
     checkpoint.  Cooling is geometric from
     ``t_start`` to ``t_end``; the best order ever seen is returned,
     re-costed from cold as a cross-check.
+
+    With ``record_convergence=True`` (or an enabled probe) the result
+    carries the per-iteration ``(iter, temp, cost, best, accepted)``
+    :class:`~repro.obs.convergence.AnnealSeries` of the Metropolis loop —
+    recording never touches the RNG, so the returned order is bit-identical
+    either way.
     """
     if iters < 0:
         raise ConfigurationError(f"iters must be >= 0, got {iters}")
@@ -350,10 +416,15 @@ def anneal_search(
         "accepted": 0, "illegal": 0,
     }
 
+    series = None
+    if record_convergence or get_probe().enabled:
+        series = AnnealSeries(label=f"anneal iters={iters} seed={seed}")
+
     if n < 3 or iters == 0:
         cost = order_cost(trace, order, capacity)
         return _finish(
-            graph, "anneal", relax_reductions, capacity, order, cost, 0, params
+            graph, "anneal", relax_reductions, capacity, order, cost, 0, params,
+            series,
         )
 
     # LRU checkpoints every `interval` ops of the *current* order:
@@ -440,9 +511,11 @@ def anneal_search(
         return cand_cost, commit
 
     cur_cost, stats = anneal_minimize(
-        cur_cost, step, iters=iters, rng=rng, t_start=t_start, t_end=t_end
+        cur_cost, step, iters=iters, rng=rng, t_start=t_start, t_end=t_end,
+        series=series,
     )
     params["accepted"] = stats.accepted
+    params["acceptance_rate"] = stats.acceptance_rate
     evaluations = stats.evaluations
 
     # Ground-truth re-cost of the winner on the reordered trace (shared
@@ -455,7 +528,7 @@ def anneal_search(
         )
     return _finish(
         graph, "anneal", relax_reductions, capacity, best_order, final_cost,
-        evaluations, params,
+        evaluations, params, series,
     )
 
 

@@ -1,0 +1,217 @@
+"""Structured run-time probes: counters, timers, nested spans, series.
+
+The engines of this library (cache replays, order search, partition
+refinement, the sharded executor) each know interesting things mid-run —
+eviction counts, proposal acceptance, per-phase wall time — that their
+return values deliberately compress away.  A *probe* is the side channel
+those call sites report into:
+
+* ``count(name, n)`` — monotone counters (``"replay.lru.misses"``);
+* ``timer(name)`` — a context manager accumulating wall time per name
+  (phase timings; the CLI's ``sec`` columns read the same measurement);
+* ``span(name)`` — nested named intervals relative to the probe's epoch
+  (a coarse flame view of one command);
+* ``emit(series, **fields)`` — append one row to a named series;
+* ``attach(name, payload)`` — hang a whole structured artifact (e.g. a
+  :class:`~repro.obs.convergence.AnnealSeries`) on the run, deduplicating
+  names so repeated engine invocations never overwrite each other.
+
+One probe is active per process (:func:`get_probe` / :func:`set_probe`),
+so instrumented call sites stay one-liners and never thread a recorder
+through ten layers of signatures.  The default :class:`NullProbe` ignores
+everything; its ``enabled`` flag is ``False`` so hot loops can skip even
+the aggregation that would feed it.  Recording changes no result anywhere:
+the invariance tests pin that search, refinement and replay outputs are
+bit-identical with the probe on and off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Timer:
+    """Measure one wall-clock interval; report it to ``probe`` on exit.
+
+    The measurement always happens (callers read ``elapsed`` for display —
+    the CLI's ``sec`` columns), only the recording is conditional: pass
+    ``probe=None`` to measure without recording.
+    """
+
+    __slots__ = ("name", "probe", "elapsed", "_t0")
+
+    def __init__(self, name: str, probe: "RecordingProbe | None" = None):
+        self.name = name
+        self.probe = probe
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._t0
+        if self.probe is not None:
+            self.probe.record_timer(self.name, self.elapsed)
+        return False
+
+
+class NullProbe:
+    """The zero-overhead default: every hook is a no-op.
+
+    ``enabled`` is ``False``, so engines can guard their aggregation with
+    one attribute read and pay nothing when nobody is listening.
+    """
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def emit(self, series: str, **fields) -> None:
+        pass
+
+    def attach(self, name: str, payload: Any) -> str:
+        return name
+
+    def record_timer(self, name: str, elapsed: float) -> None:
+        pass
+
+    def timer(self, name: str) -> Timer:
+        return Timer(name, None)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        yield None
+
+
+class RecordingProbe:
+    """In-memory recorder behind the probe interface.
+
+    Everything lands in plain dict/list attributes (``counters``,
+    ``timers``, ``spans``, ``series``, ``attachments``) and
+    :meth:`snapshot` renders the whole state as one JSON-able dict — the
+    payload :func:`repro.obs.report.build_report` aggregates.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, dict[str, float]] = {}
+        self.spans: list[dict[str, Any]] = []
+        self.series: dict[str, list[dict[str, Any]]] = {}
+        self.attachments: dict[str, Any] = {}
+        self._depth = 0
+
+    # -- hooks ----------------------------------------------------------- #
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def emit(self, series: str, **fields) -> None:
+        self.series.setdefault(series, []).append(fields)
+
+    def attach(self, name: str, payload: Any) -> str:
+        """Store ``payload`` under ``name``; dedup to ``name#2``, ``#3``, …"""
+        key, k = name, 2
+        while key in self.attachments:
+            key = f"{name}#{k}"
+            k += 1
+        self.attachments[key] = payload
+        return key
+
+    def record_timer(self, name: str, elapsed: float) -> None:
+        t = self.timers.setdefault(name, {"total": 0.0, "calls": 0})
+        t["total"] += elapsed
+        t["calls"] += 1
+
+    def timer(self, name: str) -> Timer:
+        return Timer(name, self)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[dict[str, Any]]:
+        """A nested named interval; start/end are seconds since the epoch."""
+        rec: dict[str, Any] = {
+            "name": name,
+            "start": time.perf_counter() - self.epoch,
+            "end": None,
+            "depth": self._depth,
+        }
+        self.spans.append(rec)
+        self._depth += 1
+        try:
+            yield rec
+        finally:
+            self._depth -= 1
+            rec["end"] = time.perf_counter() - self.epoch
+
+    # -- export ---------------------------------------------------------- #
+    def snapshot(self) -> dict[str, Any]:
+        """The probe's state as one JSON-able dict.
+
+        Attachments exposing ``as_dict()`` (the convergence series) are
+        converted; everything else is included verbatim.
+        """
+        attachments = {
+            key: payload.as_dict() if hasattr(payload, "as_dict") else payload
+            for key, payload in self.attachments.items()
+        }
+        return {
+            "counters": dict(self.counters),
+            "timers": {k: dict(v) for k, v in self.timers.items()},
+            "spans": [dict(s) for s in self.spans],
+            "series": {k: [dict(r) for r in v] for k, v in self.series.items()},
+            "attachments": attachments,
+        }
+
+
+#: The shared no-op instance; ``get_probe()`` returns it by default.
+NULL_PROBE = NullProbe()
+
+_active: NullProbe | RecordingProbe = NULL_PROBE
+
+
+def get_probe() -> "NullProbe | RecordingProbe":
+    """The process-global probe (the null recorder unless a run opted in)."""
+    return _active
+
+
+def set_probe(probe: "NullProbe | RecordingProbe | None") -> "NullProbe | RecordingProbe":
+    """Install ``probe`` (``None`` restores the null recorder); returns the old one."""
+    global _active
+    previous = _active
+    _active = NULL_PROBE if probe is None else probe
+    return previous
+
+
+@contextmanager
+def probe_scope(
+    probe: "RecordingProbe | None" = None,
+) -> Iterator["RecordingProbe"]:
+    """Install a recording probe for one ``with`` block, then restore.
+
+    The instrumentation entry point of the CLI's ``--report`` flag and the
+    tests: everything executed inside the block reports into the yielded
+    probe; the previously active probe comes back afterwards even on error.
+    """
+    probe = RecordingProbe() if probe is None else probe
+    previous = set_probe(probe)
+    try:
+        yield probe
+    finally:
+        set_probe(previous)
+
+
+def timed(name: str) -> Timer:
+    """A :class:`Timer` bound to the active probe (measuring either way).
+
+    ``with timed("search:beam") as t: …`` then read ``t.elapsed`` — the
+    one code path behind both the CLI's ``sec`` columns and the report's
+    phase wall-times.
+    """
+    probe = get_probe()
+    return Timer(name, probe if probe.enabled else None)

@@ -1,0 +1,77 @@
+"""Provenance stamps: who produced this artifact, from what, with what.
+
+Benchmark JSONs and run reports outlive the working tree that produced
+them; without a stamp two payloads with different numbers cannot be told
+apart ("different commit?  different numpy?  different machine?").
+:func:`provenance_stamp` answers all of it in one dict every writer embeds
+under the ``"provenance"`` key: schema version, git SHA (plus a dirty
+flag), host, platform, python/numpy versions, and a UTC timestamp.
+
+Everything is gathered defensively — a missing ``git`` binary or a
+non-repository checkout yields ``None`` fields, never an exception — so
+stamping can be unconditional.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+#: Version of the provenance block itself (bump on incompatible changes).
+SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: "str | Path | None" = None) -> "tuple[str | None, bool | None]":
+    """``(sha, dirty)`` of the repository at ``cwd``; ``(None, None)`` outside one."""
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+def provenance_stamp(extra: "dict[str, Any] | None" = None) -> dict[str, Any]:
+    """The provenance block every saved artifact carries.
+
+    ``extra`` entries are merged on top (they may not override the
+    standard keys — a stamp that lies about its git SHA is worse than no
+    stamp).
+    """
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    sha, dirty = git_revision()
+    stamp: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    if extra:
+        for key, value in extra.items():
+            if key in stamp:
+                raise ValueError(f"extra provenance key {key!r} shadows a standard field")
+            stamp[key] = value
+    return stamp

@@ -1,0 +1,173 @@
+"""Run reports: one JSON document per instrumented run, plus ASCII rendering.
+
+A report is the durable form of everything a :class:`~repro.obs.probe.
+RecordingProbe` observed during one command: provenance, phase wall-times
+(timers and nested spans), engine counters (replay misses/evictions,
+search evaluations, refinement moves), and the convergence series the
+engines attached.  ``python -m repro search/parallel --report r.json``
+writes one; ``python -m repro report r.json`` pretty-prints any saved
+report — tables via :mod:`repro.utils.fmt`, convergence curves as
+character grids via :mod:`repro.viz.ascii`.
+
+Schema (``"repro.report/v1"``)::
+
+    {
+      "schema": "repro.report/v1",
+      "command": "parallel",              # the CLI command (or test label)
+      "params": {...},                    # the run's parameters, verbatim
+      "provenance": {...},               # repro.obs.provenance stamp
+      "timers": {name: {"total": s, "calls": n}},
+      "counters": {name: number},
+      "spans": [{"name", "start", "end", "depth"}],
+      "series": {name: [row, ...]},
+      "attachments": {name: {...}}        # convergence series as_dict()s
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from ..utils.fmt import Table, banner, format_float
+from ..viz.ascii import CharGrid
+from .probe import RecordingProbe
+from .provenance import provenance_stamp
+
+#: Schema tag every report carries; bump on incompatible layout changes.
+REPORT_SCHEMA = "repro.report/v1"
+
+
+def build_report(
+    probe: RecordingProbe,
+    *,
+    command: str = "",
+    params: "dict[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Aggregate one probe into the report document (JSON-able dict)."""
+    snapshot = probe.snapshot()
+    return {
+        "schema": REPORT_SCHEMA,
+        "command": command,
+        "params": dict(params or {}),
+        "provenance": provenance_stamp(),
+        **snapshot,
+    }
+
+
+def save_report(report: dict[str, Any], path_or_file: "str | IO[str]") -> None:
+    """Write a report document as indented JSON."""
+    if hasattr(path_or_file, "write"):
+        json.dump(report, path_or_file, indent=2)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+
+
+def load_report(path_or_file: "str | IO[str]") -> dict[str, Any]:
+    """Read a report document back, checking the schema tag."""
+    if hasattr(path_or_file, "read"):
+        report = json.load(path_or_file)
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    schema = report.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"not a run report: schema {schema!r} (expected {REPORT_SCHEMA!r})"
+        )
+    return report
+
+
+def render_series(
+    values: "list[float]", *, width: int = 64, height: int = 8
+) -> str:
+    """An ASCII cost-vs-iteration curve on a :class:`CharGrid`.
+
+    Columns sample the series uniformly (every value lands on a column
+    when the series is shorter than ``width``); rows span [min, max] with
+    the extrema printed on the flanking ruler lines.
+    """
+    if not values:
+        return "(empty series)"
+    width = max(2, min(width, max(2, len(values))))
+    lo, hi = min(values), max(values)
+    grid = CharGrid(height, width, fill=".")
+    for c in range(width):
+        i = c * (len(values) - 1) // (width - 1)
+        v = values[i]
+        r = 0 if hi == lo else round((hi - v) / (hi - lo) * (height - 1))
+        grid.put(int(r), c, "*")
+    return (
+        f"max {format_float(hi, 6)}\n"
+        + grid.render()
+        + f"\nmin {format_float(lo, 6)}  ({len(values)} points)"
+    )
+
+
+def _render_attachment(name: str, payload: dict[str, Any]) -> str:
+    kind = payload.get("kind")
+    lines = [f"-- {name}" + (f"  [{payload.get('label')}]" if payload.get("label") else "")]
+    if kind == "anneal":
+        bests = payload.get("best", [])
+        accepted = sum(1 for a in payload.get("accepted", []) if a)
+        lines.append(
+            f"anneal: {len(bests)} iterations, {accepted} accepted, "
+            f"best {format_float(bests[0], 6)} -> {format_float(bests[-1], 6)}"
+            if bests else "anneal: empty series"
+        )
+        if bests:
+            lines.append(render_series(bests))
+    elif kind == "rounds":
+        bests = payload.get("best", [])
+        engine = payload.get("engine", "rounds")
+        lines.append(
+            f"{engine}: {len(bests)} rounds, "
+            f"best {format_float(bests[0], 6)} -> {format_float(bests[-1], 6)}"
+            if bests else f"{engine}: empty series"
+        )
+        if bests:
+            lines.append(render_series(bests))
+    else:
+        lines.append(json.dumps(payload)[:200])
+    return "\n".join(lines)
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """The full ASCII rendering of a report document."""
+    out: list[str] = [banner(f"run report: {report.get('command') or '(unnamed)'}")]
+    params = report.get("params") or {}
+    if params:
+        out.append("params: " + ", ".join(f"{k}={v}" for k, v in params.items()))
+    prov = report.get("provenance") or {}
+    if prov:
+        sha = prov.get("git_sha") or "?"
+        dirty = "+dirty" if prov.get("git_dirty") else ""
+        out.append(
+            f"provenance: {str(sha)[:12]}{dirty} on {prov.get('host', '?')} "
+            f"(python {prov.get('python', '?')}, numpy {prov.get('numpy', '?')}, "
+            f"{prov.get('timestamp_utc', '?')})"
+        )
+    timers = report.get("timers") or {}
+    if timers:
+        t = Table(["phase", "total sec", "calls"], title="phase wall-times")
+        for name in sorted(timers, key=lambda k: -timers[k]["total"]):
+            rec = timers[name]
+            t.add_row([name, f"{rec['total']:.3f}", int(rec["calls"])])
+        out.append(t.render())
+    counters = report.get("counters") or {}
+    if counters:
+        t = Table(["counter", "value"], title="engine counters")
+        for name in sorted(counters):
+            value = counters[name]
+            t.add_row([name, f"{int(value):,}" if float(value).is_integer() else f"{value:g}"])
+        out.append(t.render())
+    for name, payload in (report.get("attachments") or {}).items():
+        if isinstance(payload, dict):
+            out.append(_render_attachment(name, payload))
+    series = report.get("series") or {}
+    if series:
+        out.append(
+            "series: " + ", ".join(f"{k} ({len(v)} rows)" for k, v in series.items())
+        )
+    return "\n\n".join(out)

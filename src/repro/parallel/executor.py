@@ -65,11 +65,12 @@ from ..graph.dependency import DependencyGraph
 from ..graph.rewriter import rewrite_trace
 from ..machine.machine import TwoLevelMachine
 from ..machine.regions import Region
+from ..obs.probe import get_probe, timed
 from ..sched.schedule import ComputeStep, EvictStep, LoadStep, Schedule, Step
 from ..sched.validate import validate_schedule
 from ..trace.compiled import CompiledTrace, compile_trace
 from ..trace.replay import belady_replay_trace, lru_replay_trace
-from .makespan import makespan_model
+from .makespan import MakespanResult, makespan_model
 from .partition import NodeAssignment, balance_cap, deal_least_loaded
 from .refine import write_groups
 from .simulate import fleet_imbalance, fleet_mean
@@ -394,6 +395,11 @@ class ExecutorSummary:
     makespan: float = 0.0
     alpha: float = 1.0
     beta: float = 1.0
+    #: the full :class:`~repro.parallel.makespan.MakespanResult` behind
+    #: :attr:`makespan`, carrying the per-op ``start``/``finish``/``node``
+    #: timeline — what ``--timeline`` exports via
+    #: :func:`repro.obs.timeline.export_timeline`.
+    makespan_result: "MakespanResult | None" = None
 
     @property
     def max_recv(self) -> int:
@@ -540,7 +546,8 @@ def execute_graph(
                 "recorded run"
             )
     if owner is None:
-        owner = partition_graph(graph, p, partitioner)
+        with timed("executor.partition"):
+            owner = partition_graph(graph, p, partitioner)
     else:
         owner = [int(q) for q in owner]
         partitioner = partitioner_label or "explicit-owner"
@@ -573,42 +580,50 @@ def execute_graph(
     explicit_shards = shard_schedule(source, owner, p) if policy == "explicit" else None
 
     reports = []
-    for q in range(p):
-        ops = shard_ops[q]
-        mults = sum(int(graph.nodes[v].op.mults) for v in ops)
-        if explicit_shards is not None:
-            m = TwoLevelMachine(s, strict=False, numerics=False)
-            for name, shape in trace.shapes.items():
-                m.add_matrix(name, np.zeros(shape))
-            for step in explicit_shards[q].steps:
-                if isinstance(step, LoadStep):
-                    m.load(step.region)
-                elif isinstance(step, EvictStep):
-                    m.evict(step.region, writeback=step.writeback)
-                else:
-                    m.compute(step.op)
-            m.assert_empty()
-            recv, send, peak = m.stats.loads, m.stats.stores, m.stats.peak_occupancy
-        elif not ops:
-            recv = send = peak = 0
-        else:
-            recv, send, peak = _shard_counts_trace(trace.select_ops(ops), s, policy)
-        reports.append(
-            ShardReport(
-                node=q,
-                n_ops=len(ops),
-                recv=int(recv),
-                send=int(send),
-                transfer_in=transfer_in[q],
-                transfer_out=transfer_out[q],
-                mults=mults,
-                peak_memory=int(peak),
+    with timed("executor.replay"):
+        for q in range(p):
+            ops = shard_ops[q]
+            mults = sum(int(graph.nodes[v].op.mults) for v in ops)
+            if explicit_shards is not None:
+                m = TwoLevelMachine(s, strict=False, numerics=False)
+                for name, shape in trace.shapes.items():
+                    m.add_matrix(name, np.zeros(shape))
+                for step in explicit_shards[q].steps:
+                    if isinstance(step, LoadStep):
+                        m.load(step.region)
+                    elif isinstance(step, EvictStep):
+                        m.evict(step.region, writeback=step.writeback)
+                    else:
+                        m.compute(step.op)
+                m.assert_empty()
+                recv, send, peak = m.stats.loads, m.stats.stores, m.stats.peak_occupancy
+            elif not ops:
+                recv = send = peak = 0
+            else:
+                recv, send, peak = _shard_counts_trace(trace.select_ops(ops), s, policy)
+            reports.append(
+                ShardReport(
+                    node=q,
+                    n_ops=len(ops),
+                    recv=int(recv),
+                    send=int(send),
+                    transfer_in=transfer_in[q],
+                    transfer_out=transfer_out[q],
+                    mults=mults,
+                    peak_memory=int(peak),
+                )
             )
-        )
     mult_weights = [float(node.op.mults) for node in graph.nodes]
-    span = makespan_model(
-        graph, owner, p=p, alpha=alpha, beta=beta, weights=mult_weights
-    )
+    with timed("executor.makespan"):
+        span = makespan_model(
+            graph, owner, p=p, alpha=alpha, beta=beta, weights=mult_weights
+        )
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("executor.runs")
+        probe.count("executor.ops", len(graph))
+        probe.count("executor.cut_edges", len(cut))
+        probe.count("executor.transfer_elements", sum(transfer_in))
     return ExecutorSummary(
         p=p,
         s=s,
@@ -623,4 +638,5 @@ def execute_graph(
         makespan=span.makespan,
         alpha=alpha,
         beta=beta,
+        makespan_result=span,
     )

@@ -20,7 +20,10 @@ its transfers along the critical path.  This module scores any
 
 ``finish(v)`` is then ``max(node available, max over preds of
 finish(u) + edge latency) + weights[v]`` and the makespan is the largest
-finish time.  Two classical floors come for free and are reported next to
+finish time.  The per-op ``start``/``finish``/``node`` arrays are part of
+the result (not just their max): they are the full simulated timeline,
+exportable as a Perfetto-openable Chrome trace via
+:func:`repro.obs.timeline.export_timeline`.  Two classical floors come for free and are reported next to
 it: the weighted critical path
 (:meth:`~repro.graph.dependency.DependencyGraph.critical_path_cost` — the
 runtime on unboundedly many nodes with free communication) and the
@@ -61,6 +64,16 @@ class MakespanResult:
     n_cross_edges: int
     #: op index that finishes last (-1 for an empty graph).
     bottleneck: int
+    #: per-op execution start time: the moment the op's node is free *and*
+    #: every predecessor (plus its edge latency) has arrived — i.e.
+    #: ``finish[v] - weights[v]``.  Indexed by op, not by order position.
+    start: tuple[float, ...] = ()
+    #: per-op finish time; ``max(finish) == makespan`` (asserted in tests).
+    finish: tuple[float, ...] = ()
+    #: per-op node placement (a copy of the scored ``owner``) — with
+    #: ``start``/``finish`` this is the full simulated timeline, the data
+    #: feed of :func:`repro.obs.timeline.export_timeline`.
+    node: tuple[int, ...] = ()
 
     @property
     def max_busy(self) -> float:
@@ -115,6 +128,7 @@ def makespan_model(
     elif not graph.is_valid_order(list(order), relax_reductions=relax_reductions):
         raise ScheduleError("makespan order is not a legal order of the graph")
 
+    start = [0.0] * n
     finish = [0.0] * n
     node_avail = [0.0] * p
     node_busy = [0.0] * p
@@ -138,6 +152,7 @@ def makespan_model(
                 n_cross += 1
             if arrival > t:
                 t = arrival
+        start[v] = t
         finish[v] = t + float(weights[v])
         node_avail[q] = finish[v]
         node_busy[q] += float(weights[v])
@@ -153,4 +168,7 @@ def makespan_model(
         comm_latency=comm_latency,
         n_cross_edges=n_cross,
         bottleneck=bottleneck,
+        start=tuple(start),
+        finish=tuple(finish),
+        node=tuple(int(q) for q in owner),
     )

@@ -59,6 +59,8 @@ from typing import Sequence
 from ..errors import ConfigurationError
 from ..graph.dependency import DependencyGraph
 from ..graph.search import anneal_minimize
+from ..obs.convergence import AnnealSeries, RoundSeries
+from ..obs.probe import get_probe
 from ..trace.replay import belady_replay_trace, lru_replay_trace
 from ..utils.unionfind import DisjointSets
 from .partition import balance_cap
@@ -292,6 +294,13 @@ class RefineResult:
     #: the measured objective and the seed was returned instead.
     reverted: bool = False
     params: dict = field(default_factory=dict)
+    #: convergence traces keyed by engine: ``"greedy"`` maps to a
+    #: :class:`~repro.obs.convergence.RoundSeries` (one row per accepted
+    #: move), ``"anneal"`` to an
+    #: :class:`~repro.obs.convergence.AnnealSeries` (one row per Metropolis
+    #: iteration).  Populated when ``record_convergence=True`` or a
+    #: recording probe is active; empty otherwise.
+    convergence: dict = field(default_factory=dict)
 
     @property
     def improved(self) -> bool:
@@ -387,6 +396,7 @@ def refine_partition(
     eval_policy: str = "belady",
     t_start: float = 1.5,
     t_end: float = 0.05,
+    record_convergence: bool = False,
 ) -> RefineResult:
     """Locally search the assignment space around a seed ``owner[]``.
 
@@ -398,7 +408,10 @@ def refine_partition(
     write-groups, preserving an owner-computes seed's exclusive-writer
     invariant.  The returned assignment is guaranteed — by a final
     measured comparison under ``eval_policy`` — to never exceed the seed's
-    ``max(recv + transfer_in)``.
+    ``max(recv + transfer_in)``.  ``record_convergence`` fills
+    :attr:`RefineResult.convergence` with the per-engine model-cost
+    trajectories (implied whenever a recording probe is active); recording
+    touches no RNG, so a recorded run returns bit-identical assignments.
     """
     if strategy not in REFINE_STRATEGIES:
         raise ConfigurationError(
@@ -447,6 +460,9 @@ def refine_partition(
     best_model = model_seed
     moves = 0
     evaluations = 0
+    probe = get_probe()
+    record = record_convergence or probe.enabled
+    convergence: dict = {}
 
     def capture_if_best() -> None:
         nonlocal best_owner, best_model
@@ -455,6 +471,11 @@ def refine_partition(
             best_owner, best_model = list(ledger.owner), c
 
     if strategy in ("greedy", "greedy+anneal"):
+        greedy_series = None
+        if record:
+            greedy_series = RoundSeries(label="refine.greedy", engine="greedy")
+            greedy_series.add(0, best_model)  # round 0: the seed's model cost
+            convergence["greedy"] = greedy_series
         while moves < max_moves:
             step = _greedy_pass(ledger, units, op_units, cap)
             if step is None:
@@ -463,8 +484,14 @@ def refine_partition(
             evaluations += n_evals
             moves += 1
             capture_if_best()
+            if greedy_series is not None:
+                greedy_series.add(moves, best_model)
 
     if strategy in ("anneal", "greedy+anneal") and len(graph) and p > 1:
+        anneal_series = None
+        if record:
+            anneal_series = AnnealSeries(label="refine.anneal")
+            convergence["anneal"] = anneal_series
         rng = random.Random(seed)
         group_units = [g for g in units if len(g) > 1]
 
@@ -496,11 +523,12 @@ def refine_partition(
 
         _final, stats = anneal_minimize(
             ledger.cost(), step, iters=iters, rng=rng,
-            t_start=t_start, t_end=t_end,
+            t_start=t_start, t_end=t_end, series=anneal_series,
         )
         evaluations += stats.evaluations
         params["accepted"] = stats.accepted
         params["skipped"] = stats.skipped
+        params["acceptance_rate"] = stats.acceptance_rate
 
     # The model ranked the candidates; the measured objective decides.
     # Re-measuring seed and winner costs two shard replays total — never
@@ -515,6 +543,14 @@ def refine_partition(
     reverted = refined_cost > seed_cost
     if reverted:
         best_owner, refined_cost, best_model = list(seed_owner), seed_cost, model_seed
+    if probe.enabled:
+        probe.count("refine.runs")
+        probe.count("refine.moves", moves)
+        probe.count("refine.evaluations", evaluations)
+        if reverted:
+            probe.count("refine.reverted")
+        for engine, series in convergence.items():
+            probe.attach(f"convergence.refine.{engine}", series)
     return RefineResult(
         graph=graph,
         p=p,
@@ -530,4 +566,5 @@ def refine_partition(
         evaluations=evaluations,
         reverted=reverted,
         params=params,
+        convergence=convergence,
     )

@@ -40,6 +40,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.probe import get_probe
 from .compiled import CompiledTrace
 
 #: Initial / maximum width of the miss-scan window (adaptively resized).
@@ -132,6 +133,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
     level_ptrs: list[int] = []
     heappush, heappop = heapq.heappush, heapq.heappop
     loads = evict_stores = resident = 0
+    evictions = windows = 0  # engine telemetry; emitted to the probe once
 
     def push_level(entries: np.ndarray) -> None:
         levels.append(np.sort(entries))
@@ -178,12 +180,13 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
             trace._replay_cache["next_use_list"] = nxt_l
 
     def handle_miss(p: int, e: int) -> None:
-        nonlocal loads, evict_stores, resident
+        nonlocal loads, evict_stores, resident, evictions
         while resident >= capacity:
             if never_clean:
                 victim = never_clean.pop()
                 cached_b[victim] = 0
                 resident -= 1
+                evictions += 1
                 continue
             if never_dirty:
                 victim = never_dirty.pop()
@@ -191,6 +194,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
                 dirty_b[victim] = 0
                 resident -= 1
                 evict_stores += 1
+                evictions += 1
                 continue
             entry = pop_entry() if levels else heappop(heap)
             victim = entry & id_mask
@@ -201,6 +205,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
                 continue  # superseded by a later access of the same element
             cached_b[victim] = 0
             resident -= 1
+            evictions += 1
             if dirty_b[victim]:
                 evict_stores += 1
                 dirty_b[victim] = 0
@@ -223,6 +228,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
     pos = 0
     window = _MIN_WINDOW
     scalar_mode = capacity < _SCALAR_RUN  # tiny caches thrash by definition
+    scalar_switches = 1 if scalar_mode else 0
     while pos < n:
         if scalar_mode:
             run = 0
@@ -256,6 +262,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
             continue
 
         stop = min(n, pos + window)
+        windows += 1
         miss_rel = np.flatnonzero(cached[ids[pos:stop]] == 0)
         hits = int(miss_rel[0]) if miss_rel.size else stop - pos
         if hits:
@@ -294,6 +301,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
             continue
         if hits < _SCALAR_RUN:
             scalar_mode = True  # misses are dense: numpy overhead loses
+            scalar_switches += 1
             window = _MIN_WINDOW
         p = pos + hits
         # Batch a run of consecutive misses when the cache can absorb it
@@ -342,6 +350,12 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
         handle_miss(p, ids_l[p])
         pos = p + 1
 
+    probe = get_probe()
+    if probe.enabled:
+        prefix = "replay.belady" if belady else "replay.lru"
+        probe.count(f"{prefix}.evictions", evictions)
+        probe.count(f"{prefix}.windows", windows)
+        probe.count(f"{prefix}.scalar_switches", scalar_switches)
     return loads, evict_stores, int(dirty.sum())
 
 
@@ -472,6 +486,13 @@ def lru_replay_trace(
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         loads, evict_stores, flush = _lru_counts_from_distances(trace, capacity)
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("replay.lru.replays")
+        probe.count("replay.lru.accesses", trace.n_accesses)
+        probe.count("replay.lru.misses", loads)
+        probe.count("replay.lru.hits", trace.n_accesses - loads)
+        probe.count("replay.lru.stores", evict_stores + flush)
     return LruReplayResult(
         capacity=capacity,
         loads=loads,
@@ -485,6 +506,13 @@ def lru_replay_trace(
 def belady_replay_trace(trace: CompiledTrace, capacity: int) -> BeladyReplayResult:
     """Array-based Belady/MIN replay of a compiled trace."""
     loads, evict_stores, flush = _replay(trace, capacity, belady=True)
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("replay.belady.replays")
+        probe.count("replay.belady.accesses", trace.n_accesses)
+        probe.count("replay.belady.misses", loads)
+        probe.count("replay.belady.hits", trace.n_accesses - loads)
+        probe.count("replay.belady.stores", evict_stores + flush)
     return BeladyReplayResult(
         capacity=capacity,
         loads=loads,
