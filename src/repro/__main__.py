@@ -28,6 +28,12 @@ Commands
 ``report``    pretty-print a saved run report (provenance, phase
               wall-times, engine counters, convergence curves)
 
+``search --chains K --jobs N`` anneals K independent chains (a temperature
+portfolio merged by best cost) across N worker processes, ``parallel
+--jobs N`` fans the per-partitioner refines out the same way, and ``trace
+replay --jobs N`` shards its capacity sweep — all default to serial and
+are bit-identical at any job count (see :mod:`repro.perf`).
+
 The ``search`` and ``parallel`` commands accept ``--report PATH`` (write
 the run's probe state — provenance, timers, counters, convergence series —
 as a ``repro.report/v1`` JSON document) and ``--timeline PATH`` (export
@@ -254,7 +260,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
                    f"{rr.loads / opt.loads:.3f}",
                    f"{rr.loads / case.lower_bound:.3f}",
                    f"{max_error(rr.schedule):.2e}", f"{tm.elapsed:.2f}"])
-    kwargs = {"anneal": {"iters": args.iters, "seed": args.seed},
+    kwargs = {"anneal": {"iters": args.iters, "seed": args.seed,
+                         "chains": args.chains, "jobs": args.jobs},
               "beam": {"width": args.width},
               "lookahead": {"depth": args.depth}}
     best_search = None
@@ -305,7 +312,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         save_schedule,
         save_trace,
     )
-    from .trace.replay import belady_replay_trace, lru_replay_trace
+    from .trace.replay import sweep_replay_trace
 
     def describe(trace, origin: str) -> None:
         shapes = ", ".join(f"{n}{list(s)}" for n, s in trace.shapes.items())
@@ -354,15 +361,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         trace = load_trace(args.path)
     describe(trace, args.path)
     policies = ("lru", "belady") if args.policy == "both" else (args.policy,)
-    t = Table(["capacity", "policy", "Q (loads)", "stores", "miss rate", "sec"])
-    for capacity in args.capacity:
-        for policy in policies:
-            fast = lru_replay_trace if policy == "lru" else belady_replay_trace
-            with timed(f"trace.replay.{policy}") as tm:
-                r = fast(trace, capacity)
+    t = Table(["capacity", "policy", "Q (loads)", "stores", "miss rate", "sweep sec"])
+    for policy in policies:
+        # One sweep per policy: a single reuse-distance (LRU) or grouped
+        # OPT-stack (Belady) pass answers every capacity, with --jobs
+        # sharding the counting across worker processes.
+        with timed(f"trace.replay.{policy}") as tm:
+            results = sweep_replay_trace(
+                trace, args.capacity, policy=policy, jobs=args.jobs
+            )
+        for i, (capacity, r) in enumerate(zip(args.capacity, results)):
             t.add_row(
                 [capacity, policy, format_int(r.loads), format_int(r.stores),
-                 f"{r.miss_rate:.4f}", f"{tm.elapsed:.3f}"]
+                 f"{r.miss_rate:.4f}", f"{tm.elapsed:.3f}" if i == 0 else '"']
             )
             if args.check:
                 ref_fn = (
@@ -391,7 +402,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     from .graph.compare import record_case
     from .graph.dependency import DependencyGraph
     from .parallel.executor import execute_graph
-    from .parallel.refine import refine_partition
+    from .parallel.refine import refine_partitions
 
     def bound_for(p: int) -> float | None:
         if args.kernel in ("tbs", "ocs"):
@@ -440,21 +451,30 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     for p in args.p:
         # Every partitioner degenerates to the same trivial assignment at
         # P = 1; run and print it once.
-        for part in (partitioners if p > 1 else partitioners[:1]):
-            summ = execute_graph(
+        parts = partitioners if p > 1 else partitioners[:1]
+        summs = [
+            execute_graph(
                 case.schedule, p, args.s, partitioner=part, policy=args.policy,
                 graph=graph, alpha=args.alpha, beta=args.beta,
             )
+            for part in parts
+        ]
+        refined_rows: list = [None] * len(parts)
+        if args.refine and p > 1:
+            # All partitioner seeds refine as one batch; --jobs fans the
+            # independent searches out over worker processes (seed index i
+            # draws the disjoint stream task_seed(--seed, i)).
+            with timed(f"parallel.refine.{args.refine}"):
+                refined_rows = refine_partitions(
+                    graph, [list(s.owner) for s in summs], p, args.s,
+                    jobs=args.jobs, seed=args.seed, strategy=args.refine,
+                    # judge never-worse under the matching counting policy
+                    # (lru for --policy lru, the belady floor otherwise)
+                    eval_policy="lru" if args.policy == "lru" else "belady",
+                )
+        for part, summ, refined in zip(parts, summs, refined_rows):
             add_row(p, part if p > 1 else "(any)", summ)
-            if args.refine and p > 1:
-                with timed(f"parallel.refine.{args.refine}"):
-                    refined = refine_partition(
-                        graph, list(summ.owner), p, args.s, strategy=args.refine,
-                        seed=args.seed,
-                        # judge never-worse under the matching counting policy
-                        # (lru for --policy lru, the belady floor otherwise)
-                        eval_policy="lru" if args.policy == "lru" else "belady",
-                    )
+            if refined is not None:
                 summ = execute_graph(
                     case.schedule, p, args.s, owner=refined.owner,
                     policy=args.policy, graph=graph,
@@ -552,6 +572,11 @@ def main(argv: list[str] | None = None) -> int:
     p_search.add_argument("--depth", type=int, default=4, help="lookahead depth")
     p_search.add_argument("--iters", type=int, default=800, help="annealing iterations")
     p_search.add_argument("--seed", type=int, default=0, help="annealing seed")
+    p_search.add_argument("--chains", type=int, default=1,
+                          help="independent annealing chains (portfolio; "
+                               "chain 0 reproduces --chains 1 bit for bit)")
+    p_search.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the chain fan-out")
     p_search.add_argument("--report", default=None, metavar="PATH",
                           help="write the run report (provenance, timers, "
                                "counters, convergence series) as JSON")
@@ -575,6 +600,8 @@ def main(argv: list[str] | None = None) -> int:
     p_tr.add_argument("--policy", choices=["lru", "belady", "both"], default="both")
     p_tr.add_argument("--check", action="store_true",
                       help="cross-check against the reference walkers")
+    p_tr.add_argument("--jobs", type=int, default=1,
+                      help="worker processes sharding the capacity sweep")
     p_ti = tsub.add_parser("info", help="summarize a saved trace/schedule")
     p_ti.add_argument("path")
 
@@ -594,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
                             "(transfer-aware local search) and print the row")
     p_par.add_argument("--seed", type=int, default=0,
                        help="seed for the refinement annealer")
+    p_par.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the multi-seed refine fan-out")
     p_par.add_argument("--alpha", type=float, default=1.0,
                        help="per-cross-edge latency constant of the makespan model")
     p_par.add_argument("--beta", type=float, default=1.0,

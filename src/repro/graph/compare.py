@@ -142,6 +142,34 @@ def record_case(name: str, n: int, mcols: int, s: int, seed: int = 0) -> Recorde
     )
 
 
+def sweep_case(
+    case: RecordedCase,
+    capacities,
+    *,
+    policies: tuple[str, ...] = ("lru", "belady"),
+    method: str = "distance",
+    jobs: int = 1,
+):
+    """Replay one recorded case at many capacities under each policy.
+
+    Returns ``{policy: [replay results, in capacity order]}`` via
+    :func:`repro.trace.replay.sweep_replay_trace` — the one-pass engines
+    by default (``method="distance"``: cached reuse distances for LRU,
+    one grouped OPT stack pass for Belady), with ``jobs`` sharding the
+    capacity list over worker processes.  The resource-augmentation
+    harness behind ``python -m repro trace replay --capacity a,b,c``
+    and benchmark E17.
+    """
+    from ..trace.replay import sweep_replay_trace
+
+    return {
+        policy: sweep_replay_trace(
+            case.trace, capacities, policy=policy, method=method, jobs=jobs
+        )
+        for policy in policies
+    }
+
+
 @dataclass
 class ComparisonRow:
     """One line of the E12 table: an order/policy pair and its volume."""

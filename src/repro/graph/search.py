@@ -361,71 +361,46 @@ def _start_order(graph: DependencyGraph, start, relax: bool) -> list[int]:
     return list(start)
 
 
-def anneal_search(
+#: Deterministic starting-temperature multipliers of a multi-chain anneal
+#: portfolio, cycled by chain index.  Chain 0 always runs the caller's
+#: exact ``(seed, t_start)`` — the classic serial run — so the best-of
+#: merge is never worse than a single chain by construction.
+_CHAIN_TEMP_LADDER = (1.0, 0.5, 2.0, 0.25, 4.0)
+
+
+def _anneal_chain(
     graph: DependencyGraph,
     capacity: int,
-    *,
-    iters: int = 800,
-    seed: int = 0,
-    relax_reductions: bool = False,
-    start: "str | list[int] | None" = None,
-    max_segment: int = 12,
-    t_start: float = 1.5,
-    t_end: float = 0.05,
-    record_convergence: bool = False,
-) -> SearchResult:
-    """Simulated annealing over reduction-class interleavings.
+    iters: int,
+    seed: int,
+    relax_reductions: bool,
+    order: list[int],
+    max_segment: int,
+    t_start: float,
+    t_end: float,
+    want_series: bool,
+):
+    """One Metropolis chain over orders, from a fixed start.
 
-    The neighborhood is built around the commuting ``+=`` segments: most
-    proposals pick the contiguous run of same-reduction-class ops around
-    a random position and reverse it, rotate it, or swap it with the
-    following run (reversing a chain lets its tail meet the next chain's
-    head — the zigzag that shares operand columns across chain
-    boundaries; swapping runs re-chooses which chains are neighbors).
-    The rest are generic reversals/rotations of windows of at most
-    ``max_segment`` ops.  Every proposal is legality-checked against the
-    graph — under ``relax_reductions=False`` (the default, matching the
-    other strategies) in-chain reversals are rejected and the walk
-    explores only bit-exact chain permutations; pass
-    ``relax_reductions=True`` to open the interleaving space the
-    neighborhood is designed for — and costed by replaying only the
-    order suffix the move changed, from the nearest cached LRU
-    checkpoint.  Cooling is geometric from
-    ``t_start`` to ``t_end``; the best order ever seen is returned,
-    re-costed from cold as a cross-check.
-
-    With ``record_convergence=True`` (or an enabled probe) the result
-    carries the per-iteration ``(iter, temp, cost, best, accepted)``
-    :class:`~repro.obs.convergence.AnnealSeries` of the Metropolis loop —
-    recording never touches the RNG, so the returned order is bit-identical
-    either way.
+    Returns ``(best_order, best_cost, evaluations, chain_params, series)``
+    — a plain tuple (no graph inside) so portfolio chains can run in
+    worker processes and pickle their results back cheaply.  The cold
+    re-cost cross-check of the winner runs in-chain, so a drifted
+    checkpoint replay fails loudly wherever the chain ran.
     """
-    if iters < 0:
-        raise ConfigurationError(f"iters must be >= 0, got {iters}")
-    if graph.trace is None:
-        raise ConfigurationError(
-            "order search needs the graph's compiled trace; build the "
-            "graph with DependencyGraph.from_trace/from_schedule"
-        )
     trace = graph.trace
     n = len(graph)
-    order = _start_order(graph, start, relax_reductions)
+    order = list(order)
     rng = random.Random(seed)
-    params = {
-        "iters": iters, "seed": seed, "max_segment": max_segment,
-        "accepted": 0, "illegal": 0,
-    }
+    chain_params: dict = {"accepted": 0, "illegal": 0}
 
     series = None
-    if record_convergence or get_probe().enabled:
+    if want_series:
         series = AnnealSeries(label=f"anneal iters={iters} seed={seed}")
 
     if n < 3 or iters == 0:
         cost = order_cost(trace, order, capacity)
-        return _finish(
-            graph, "anneal", relax_reductions, capacity, order, cost, 0, params,
-            series,
-        )
+        return order, cost, 0, chain_params, series
 
     # LRU checkpoints every `interval` ops of the *current* order:
     # snaps[j] is the cache state before position j*interval, so a move
@@ -496,7 +471,7 @@ def anneal_search(
             return None
         candidate = order[:i] + segment + order[j:]
         if not graph.is_valid_order(candidate, relax_reductions=relax_reductions):
-            params["illegal"] += 1
+            chain_params["illegal"] += 1
             return None
         j0 = i // interval
         cand_cost, new_snaps = replay_from(j0, candidate)
@@ -514,9 +489,8 @@ def anneal_search(
         cur_cost, step, iters=iters, rng=rng, t_start=t_start, t_end=t_end,
         series=series,
     )
-    params["accepted"] = stats.accepted
-    params["acceptance_rate"] = stats.acceptance_rate
-    evaluations = stats.evaluations
+    chain_params["accepted"] = stats.accepted
+    chain_params["acceptance_rate"] = stats.acceptance_rate
 
     # Ground-truth re-cost of the winner on the reordered trace (shared
     # interning, no recompilation): the checkpointed suffix replays must
@@ -526,9 +500,112 @@ def anneal_search(
         raise ScheduleError(
             f"annealing checkpoint replay drifted: {best_cost} != {final_cost}"
         )
+    return best_order, final_cost, stats.evaluations, chain_params, series
+
+
+def _anneal_chain_task(task):
+    """Module-level (picklable) wrapper: one portfolio chain per worker."""
+    return _anneal_chain(*task)
+
+
+def anneal_search(
+    graph: DependencyGraph,
+    capacity: int,
+    *,
+    iters: int = 800,
+    seed: int = 0,
+    relax_reductions: bool = False,
+    start: "str | list[int] | None" = None,
+    max_segment: int = 12,
+    t_start: float = 1.5,
+    t_end: float = 0.05,
+    record_convergence: bool = False,
+    chains: int = 1,
+    jobs: int = 1,
+) -> SearchResult:
+    """Simulated annealing over reduction-class interleavings.
+
+    The neighborhood is built around the commuting ``+=`` segments: most
+    proposals pick the contiguous run of same-reduction-class ops around
+    a random position and reverse it, rotate it, or swap it with the
+    following run (reversing a chain lets its tail meet the next chain's
+    head — the zigzag that shares operand columns across chain
+    boundaries; swapping runs re-chooses which chains are neighbors).
+    The rest are generic reversals/rotations of windows of at most
+    ``max_segment`` ops.  Every proposal is legality-checked against the
+    graph — under ``relax_reductions=False`` (the default, matching the
+    other strategies) in-chain reversals are rejected and the walk
+    explores only bit-exact chain permutations; pass
+    ``relax_reductions=True`` to open the interleaving space the
+    neighborhood is designed for — and costed by replaying only the
+    order suffix the move changed, from the nearest cached LRU
+    checkpoint.  Cooling is geometric from
+    ``t_start`` to ``t_end``; the best order ever seen is returned,
+    re-costed from cold as a cross-check.
+
+    ``chains > 1`` runs a portfolio of independent Metropolis chains from
+    the same start order: chain 0 is exactly the classic serial run
+    (caller's ``seed`` and ``t_start``); chain ``k`` draws its seed from
+    :func:`repro.perf.pool.task_seed` (disjoint RNG streams) and scales
+    ``t_start`` by the deterministic ladder :data:`_CHAIN_TEMP_LADDER`.
+    The merge takes the minimum by ``(cost, chain_index)`` — deterministic
+    and never worse than the single-chain result.  ``jobs > 1`` fans the
+    chains out over worker processes; the merged result is bit-identical
+    for any ``jobs`` (the serial reduction order *is* chain-index order).
+
+    With ``record_convergence=True`` (or an enabled probe) the result
+    carries the per-iteration ``(iter, temp, cost, best, accepted)``
+    :class:`~repro.obs.convergence.AnnealSeries` of the winning chain —
+    recording never touches the RNG, so the returned order is bit-identical
+    either way.
+    """
+    if iters < 0:
+        raise ConfigurationError(f"iters must be >= 0, got {iters}")
+    if chains < 1:
+        raise ConfigurationError(f"chains must be >= 1, got {chains}")
+    if graph.trace is None:
+        raise ConfigurationError(
+            "order search needs the graph's compiled trace; build the "
+            "graph with DependencyGraph.from_trace/from_schedule"
+        )
+    order = _start_order(graph, start, relax_reductions)
+    want_series = record_convergence or get_probe().enabled
+    params = {"iters": iters, "seed": seed, "max_segment": max_segment}
+
+    if chains == 1:
+        best_order, best_cost, evaluations, chain_params, series = _anneal_chain(
+            graph, capacity, iters, seed, relax_reductions, order,
+            max_segment, t_start, t_end, want_series,
+        )
+        params.update(chain_params)
+        return _finish(
+            graph, "anneal", relax_reductions, capacity, best_order, best_cost,
+            evaluations, params, series,
+        )
+
+    from ..perf.pool import parallel_map, task_seed
+
+    ladder = _CHAIN_TEMP_LADDER
+    chain_seeds = [task_seed(seed, k) for k in range(chains)]
+    chain_t_starts = [t_start * ladder[k % len(ladder)] for k in range(chains)]
+    tasks = [
+        (
+            graph, capacity, iters, chain_seeds[k], relax_reductions, order,
+            max_segment, chain_t_starts[k], t_end, want_series,
+        )
+        for k in range(chains)
+    ]
+    outcomes = parallel_map(_anneal_chain_task, tasks, jobs=jobs)
+    winner = min(range(chains), key=lambda k: (outcomes[k][1], k))
+    best_order, best_cost, _, chain_params, series = outcomes[winner]
+    params.update(chain_params)
+    params.update(
+        chains=chains, jobs=jobs, winner_chain=winner,
+        chain_costs=[outcomes[k][1] for k in range(chains)],
+    )
     return _finish(
-        graph, "anneal", relax_reductions, capacity, best_order, final_cost,
-        evaluations, params, series,
+        graph, "anneal", relax_reductions, capacity, best_order, best_cost,
+        sum(outcomes[k][2] for k in range(chains)), params, series,
     )
 
 

@@ -59,6 +59,7 @@ from .refine import (
     RefineResult,
     partition_cost,
     refine_partition,
+    refine_partitions,
     write_groups,
 )
 from .simulate import (
@@ -82,6 +83,7 @@ __all__ = [
     "RefineResult",
     "partition_cost",
     "refine_partition",
+    "refine_partitions",
     "write_groups",
     "NodeReport",
     "ParallelSummary",

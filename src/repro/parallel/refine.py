@@ -61,6 +61,7 @@ from ..graph.dependency import DependencyGraph
 from ..graph.search import anneal_minimize
 from ..obs.convergence import AnnealSeries, RoundSeries
 from ..obs.probe import get_probe
+from ..perf.pool import parallel_map, task_seed
 from ..trace.replay import belady_replay_trace, lru_replay_trace
 from ..utils.unionfind import DisjointSets
 from .partition import balance_cap
@@ -568,3 +569,75 @@ def refine_partition(
         params=params,
         convergence=convergence,
     )
+
+
+def _refine_task(task) -> RefineResult:
+    """Module-level (picklable) worker: refine one seed assignment.
+
+    The result ships back without its graph reference — the parent holds
+    the one shared graph and reattaches it, so workers never pickle the
+    whole DAG into their return value.
+    """
+    graph, owner, p, s, kwargs = task
+    result = refine_partition(graph, owner, p, s, **kwargs)
+    result.graph = None
+    return result
+
+
+def refine_partitions(
+    graph: DependencyGraph,
+    owners: "Sequence[Sequence[int]]",
+    p: int,
+    s: int,
+    *,
+    jobs: int = 1,
+    seed: int = 0,
+    record_convergence: bool = False,
+    **kwargs,
+) -> list[RefineResult]:
+    """Refine many seed assignments concurrently; results in seed order.
+
+    The multi-seed fan-out behind ``--jobs``: every seed partition in
+    ``owners`` (e.g. one per partitioner) goes through
+    :func:`refine_partition` with its own disjoint RNG stream —
+    ``task_seed(seed, i)`` for seed index ``i``, so index 0 reproduces
+    ``refine_partition(..., seed=seed)`` bit for bit and the whole result
+    list is independent of ``jobs`` (the serial reduction order is simply
+    seed-list order).  Each refinement keeps its own never-worse
+    postcondition; remaining keyword arguments pass through unchanged.
+
+    Worker probes are process-local, so under ``jobs > 1`` the parent
+    re-emits the aggregate ``refine.{runs,moves,evaluations,reverted}``
+    counters after the merge (convergence series still travel back on the
+    results themselves).
+    """
+    tasks = []
+    probe = get_probe()
+    for i, owner in enumerate(owners):
+        task_kwargs = dict(
+            kwargs,
+            seed=task_seed(seed, i),
+            record_convergence=record_convergence or probe.enabled,
+        )
+        tasks.append((graph, list(owner), p, s, task_kwargs))
+    if not tasks:
+        return []
+    jobs = min(int(jobs), len(tasks))
+    if jobs <= 1:
+        # In-process: refine_partition emits its own probe counters and
+        # attachments; no graph stripping needed.
+        return [refine_partition(g, o, pp, ss, **kw) for g, o, pp, ss, kw in tasks]
+    results = parallel_map(_refine_task, tasks, jobs=jobs)
+    for result in results:
+        result.graph = graph
+    if probe.enabled:
+        probe.count("refine.runs", len(results))
+        probe.count("refine.moves", sum(r.moves for r in results))
+        probe.count("refine.evaluations", sum(r.evaluations for r in results))
+        reverted = sum(1 for r in results if r.reverted)
+        if reverted:
+            probe.count("refine.reverted", reverted)
+        for i, result in enumerate(results):
+            for engine, series in result.convergence.items():
+                probe.attach(f"convergence.refine.{engine}", series)
+    return results

@@ -37,6 +37,7 @@ from .replay import (
     belady_replay_trace,
     lru_replay_trace,
     lru_suffix_cost,
+    sweep_replay_trace,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "belady_replay_trace",
     "lru_replay_trace",
     "lru_suffix_cost",
+    "sweep_replay_trace",
 ]

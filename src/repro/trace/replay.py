@@ -79,11 +79,20 @@ class BeladyReplayResult(LruReplayResult):
 
 #: Hit-run length below which vectorized bulk handling is not worth the
 #: numpy call overhead, and above which the scalar mode hands back to the
-#: vectorized scanner.
+#: vectorized scanner.  Callers may override per replay via the
+#: ``scalar_run=`` keyword (``0`` forces the vector mode everywhere, a
+#: value above the trace length forces the scalar loop) — the two modes
+#: maintain identical state, so every threshold yields identical counts.
 _SCALAR_RUN = 32
 
 
-def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int, int]:
+def _replay(
+    trace: CompiledTrace,
+    capacity: int,
+    belady: bool,
+    *,
+    scalar_run: int = _SCALAR_RUN,
+) -> tuple[int, int, int]:
     """Shared adaptive engine; returns (loads, evict_stores, flush_stores).
 
     Two modes, switched by observed hit-run length:
@@ -227,7 +236,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
 
     pos = 0
     window = _MIN_WINDOW
-    scalar_mode = capacity < _SCALAR_RUN  # tiny caches thrash by definition
+    scalar_mode = capacity < scalar_run  # tiny caches thrash by definition
     scalar_switches = 1 if scalar_mode else 0
     while pos < n:
         if scalar_mode:
@@ -251,7 +260,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
                         stamp[e] = pos
                         heappush(heap, (pos << shift) | e)
                     run += 1
-                    if run >= 2 * _SCALAR_RUN and capacity >= _SCALAR_RUN:
+                    if run >= 2 * scalar_run and capacity >= scalar_run:
                         pos += 1
                         scalar_mode = False
                         break
@@ -299,7 +308,7 @@ def _replay(trace: CompiledTrace, capacity: int, belady: bool) -> tuple[int, int
             pos = stop
             window = min(_MAX_WINDOW, window * 2)
             continue
-        if hits < _SCALAR_RUN:
+        if hits < scalar_run:
             scalar_mode = True  # misses are dense: numpy overhead loses
             scalar_switches += 1
             window = _MIN_WINDOW
@@ -468,8 +477,296 @@ def _lru_counts_from_distances(trace: CompiledTrace, capacity: int) -> tuple[int
     return loads, stores - flush, flush
 
 
+# --------------------------------------------------------------------- #
+# one-pass Belady sweeps: the grouped OPT stack
+# --------------------------------------------------------------------- #
+#
+# Belady/MIN obeys the same inclusion property as LRU: the cache of
+# capacity C is always the top C entries of one priority stack (Mattson's
+# OPT stack, ordered by "will be evicted latest"), so the access is a hit
+# at capacity C iff its current stack depth is < C.  Simulating the full
+# stack exactly costs O(depth) per access, but a capacity *sweep* never
+# needs exact depths — only which two sweep capacities the depth falls
+# between.  So the stack is kept *partitioned at the sweep capacities*:
+# group i holds the elements at depths [caps[i-1], caps[i]) as a bag with
+# max-by-next-use extraction (a lazy-deletion heap of packed
+# ``(n - next_use) << id_bits | elem`` ints, exactly the engine's
+# encoding).  One access then touches at most ``len(caps)`` groups:
+#
+# * the accessed element jumps to depth 0 (insert into group 0);
+# * every full group above its old group overflows by one, and the
+#   element leaving a group is always its *furthest-next-use* member —
+#   the OPT stack's defining property — possibly the element that just
+#   cascaded in (then the group's membership is unchanged);
+# * the chain stops in the old group (a hit: net membership change zero)
+#   or below the last group (a miss deeper than the largest sweep
+#   capacity: the overflow is simply dropped — depths beyond
+#   ``max(caps)`` can never influence the tracked prefix).
+#
+# Next-use stamps are unique except at "never used again" (= n), and
+# those ties are *inert*: evicting one never-reused element versus
+# another cannot change any later hit/miss (Belady's optimality is
+# tie-break independent), so any deterministic pop order yields the
+# engine's exact counts — pinned by the cross-checks in the test suite.
+
+
+def _canonical_caps(capacities) -> tuple[int, ...]:
+    caps = sorted({int(c) for c in capacities})
+    if not caps:
+        raise ConfigurationError("capacity sweep needs at least one capacity")
+    if caps[0] < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {caps[0]}")
+    return tuple(caps)
+
+
+def _belady_buckets(trace: CompiledTrace, caps: tuple[int, ...]) -> np.ndarray:
+    """Per-access OPT hit buckets against the (canonical) capacity grid.
+
+    ``bucket[p]`` is the index of the smallest capacity in ``caps`` at
+    which access ``p`` is a Belady hit, or ``len(caps)`` if it misses at
+    every sweep capacity (cold, or deeper than ``max(caps)``).  One pass,
+    cached per grid — the Belady analogue of :func:`_reuse_distances`.
+    """
+    key = ("belady_buckets", caps)
+    cached = trace._replay_cache.get(key)
+    if cached is not None:
+        return cached
+    n = trace.n_accesses
+    n_elem = trace.n_elements
+    m = len(caps)
+    ids_l = trace.elem_ids.tolist()
+    nxt_l = trace._replay_cache.get("next_use_list")
+    if nxt_l is None:
+        nxt_l = trace.next_use().tolist()
+        trace._replay_cache["next_use_list"] = nxt_l
+    id_bits = max(1, n_elem - 1).bit_length()
+    id_mask = (1 << id_bits) - 1
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    heappushpop = heapq.heappushpop
+
+    group_of = [-1] * n_elem     # current group per element (-1: untracked)
+    nu_cur = [0] * n_elem        # next-use stamp the element entered with
+    heaps: list[list[int]] = [[] for _ in range(m)]
+    sizes = [0] * m
+    caps_sz = [caps[0]] + [caps[i] - caps[i - 1] for i in range(1, m)]
+    fill = 0  # first group that is not full yet (fills monotonically)
+    bucket = [0] * n
+
+    def extract_max(j: int) -> tuple[int, int]:
+        """Pop group ``j``'s valid furthest-next-use (entry, element).
+
+        Pure lazy deletion: every stale entry (an element re-accessed or
+        moved since its push) is popped at most once, so the waded-through
+        garbage is amortized O(1) per push; heap memory is O(accesses)
+        ints — the same order as the trace arrays themselves.
+        """
+        h = heaps[j]
+        while True:
+            entry = heappop(h)
+            e = entry & id_mask
+            if group_of[e] == j and nu_cur[e] == n - (entry >> id_bits):
+                return entry, e
+
+    # Two fast paths keep the cascade off the heaps almost always:
+    #
+    # * *peek pass-through*: if the carry is already the furthest-next-use
+    #   member of the next group, push-then-extract would hand it right
+    #   back — compare against the group's (stale-cleared) top instead and
+    #   let it fall through untouched;
+    # * *never-again sink*: a carry with no future use (packed entry
+    #   ``<= id_mask``) is at least tied for furthest in *every* group and
+    #   ties are inert, so it passes every full group and lands directly
+    #   in the first non-full one — ``fill`` — or drops off the end.
+
+    def sink_never_again(carry_entry: int, carry_e: int) -> None:
+        nonlocal fill
+        if fill >= m:
+            group_of[carry_e] = -1  # fell below max(caps): drop
+            return
+        group_of[carry_e] = fill
+        heappush(heaps[fill], carry_entry)
+        sizes[fill] += 1
+        if sizes[fill] == caps_sz[fill]:
+            fill += 1
+
+    def peek_valid_top(j: int) -> int:
+        h = heaps[j]
+        top = h[0]
+        while (
+            group_of[top & id_mask] != j
+            or nu_cur[top & id_mask] != n - (top >> id_bits)
+        ):
+            heappop(h)
+            top = h[0]
+        return top
+
+    for p in range(n):
+        e = ids_l[p]
+        nu = nxt_l[p]
+        g = group_of[e]
+        if g == 0:
+            # Hit in the top group: membership unchanged, refresh the
+            # stamp (the old heap entry goes stale via ``nu_cur``).
+            nu_cur[e] = nu
+            heappush(heaps[0], ((n - nu) << id_bits) | e)
+            continue  # bucket[p] stays 0
+        if g < 0:
+            bucket[p] = m
+            nu_cur[e] = nu
+            group_of[e] = 0
+            if fill == 0:  # stack still growing: nothing overflows
+                sizes[0] += 1
+                heappush(heaps[0], ((n - nu) << id_bits) | e)
+                if sizes[0] == caps_sz[0]:
+                    fill = 1
+                continue
+            # group 0 full: its furthest member cascades (extracted before
+            # the accessed element enters — it never carries at its own
+            # access), so group 0's size is back to full immediately
+            carry_entry, carry_e = extract_max(0)
+            heappush(heaps[0], ((n - nu) << id_bits) | e)
+            if carry_entry <= id_mask:
+                sink_never_again(carry_entry, carry_e)
+                continue
+            j = 1
+            while True:
+                if j == m:
+                    group_of[carry_e] = -1  # fell below max(caps): drop
+                    break
+                if sizes[j] < caps_sz[j]:  # the hole: j == fill
+                    group_of[carry_e] = j
+                    heappush(heaps[j], carry_entry)
+                    sizes[j] += 1
+                    if sizes[j] == caps_sz[j]:
+                        fill = j + 1
+                    break
+                if carry_entry < peek_valid_top(j):
+                    j += 1  # already the furthest member: pass through
+                    continue
+                group_of[carry_e] = j
+                carry_entry = heappushpop(heaps[j], carry_entry)
+                carry_e = carry_entry & id_mask
+                if carry_entry <= id_mask:
+                    sink_never_again(carry_entry, carry_e)
+                    break
+                j += 1
+        else:
+            bucket[p] = g
+            # Hit in group g: every group above is full; each passes its
+            # furthest-next-use member down, and group g absorbs the last
+            # carry in exchange for the accessed element.
+            carry_entry, carry_e = extract_max(0)
+            nu_cur[e] = nu
+            group_of[e] = 0
+            heappush(heaps[0], ((n - nu) << id_bits) | e)
+            j = 1
+            while j < g and carry_entry > id_mask:
+                if carry_entry < peek_valid_top(j):
+                    j += 1  # already the furthest member: pass through
+                    continue
+                group_of[carry_e] = j
+                carry_entry = heappushpop(heaps[j], carry_entry)
+                carry_e = carry_entry & id_mask
+                j += 1
+            # a never-again carry passes the remaining groups (tied for
+            # furthest everywhere, ties inert) and lands in the hole the
+            # accessed element left behind
+            group_of[carry_e] = g
+            heappush(heaps[g], carry_entry)
+
+    out = np.asarray(bucket, dtype=np.int64)
+    trace._replay_cache[key] = out
+    return out
+
+
+def _bucket_grid_for(trace: CompiledTrace, capacity: int):
+    """(caps, bucket, index) of a cached grid containing ``capacity``.
+
+    The quantized buckets are exact *at grid capacities*, so any cached
+    sweep that included this capacity serves it; otherwise a one-capacity
+    grid is computed (and cached — repeated single-capacity distance
+    replays still pay the stack pass only once each).
+    """
+    for key, cached in trace._replay_cache.items():
+        if isinstance(key, tuple) and key[0] == "belady_buckets" and capacity in key[1]:
+            return key[1], cached, key[1].index(capacity)
+    caps = (int(capacity),)
+    return caps, _belady_buckets(trace, caps), 0
+
+
+def _belady_counts_from_buckets(
+    trace: CompiledTrace, bucket: np.ndarray, caps: tuple[int, ...], index: int
+) -> tuple[int, int, int]:
+    """(loads, evict_stores, flush_stores) at capacity ``caps[index]``.
+
+    The miss mask is ``bucket > index``; stores reuse the LRU machinery
+    (write-containing residency segments are policy-independent).  The
+    flush/evict split needs one more fact: the engine prefers never-
+    used-again victims, clean before dirty, over the heap.  Each
+    eviction therefore pops the clean pool, then the dirty pool, then
+    the heap — and because only *counts* matter (pool members are
+    interchangeable: evicting one never-reused element vs another never
+    changes later behavior, and every dirty-pool pop costs exactly one
+    writeback), the pools reduce to two clipped counter walks.  A pool
+    pop fails exactly where the walk ``(pushes - evictions)`` reaches a
+    new running minimum below zero (one clip per unit of descent, and
+    only evictions descend); clean-pool clips cascade into the dirty
+    walk, dirty-pool clips continue to the heap.  Dirty elements still
+    pooled at the end are the final flush.
+    """
+    n = trace.n_accesses
+    capacity = caps[index]
+    miss = bucket > index
+    loads = int(miss.sum())
+    order, writes_sorted, run_lengths = _element_runs(trace)
+    seg = np.cumsum(miss[order])
+    stores = _distinct_count(seg[writes_sorted])
+    if not stores:
+        return loads, 0, 0
+    # Which elements end dirty-resident *if never evicted after their
+    # final access*: their last residency segment contains a write.
+    run_ends = np.cumsum(run_lengths) - 1
+    final_seg = np.repeat(seg[run_ends], run_lengths)
+    dirty_in_final = writes_sorted & (seg == final_seg)
+    elem_sorted = trace.elem_ids[order]
+    dirty_final = (
+        np.bincount(elem_sorted[dirty_in_final], minlength=trace.n_elements) > 0
+    )
+    total_dirty = int(dirty_final.sum())
+    rank = np.cumsum(miss)
+    ev = miss & (rank > capacity)  # one eviction per miss once full
+    if not ev.any():
+        return loads, stores - total_dirty, total_dirty
+    nxt = trace.next_use()
+    is_final = nxt == n
+    df_at = np.zeros(n, dtype=bool)
+    df_at[is_final] = dirty_final[trace.elem_ids[is_final]]
+    clean_push = is_final & ~df_at  # pool entries: clean finals ...
+    dirty_push = df_at              # ... and dirty finals
+
+    def _clips(push: np.ndarray, evs: np.ndarray) -> np.ndarray:
+        # Walk value right after the eviction at p (evict before push).
+        x = np.cumsum(push.astype(np.int64) - evs.astype(np.int64)) - push
+        runmin = np.minimum.accumulate(x)
+        newmin = np.empty(n, dtype=bool)
+        newmin[0] = True
+        newmin[1:] = runmin[1:] < runmin[:-1]
+        return evs & newmin & (x < 0)
+
+    clean_miss = _clips(clean_push, ev)          # clean pool was empty
+    dirty_miss = _clips(dirty_push, clean_miss)  # dirty pool empty too
+    dirty_pops = int(clean_miss.sum()) - int(dirty_miss.sum())
+    flush = total_dirty - dirty_pops
+    return loads, stores - flush, flush
+
+
 def lru_replay_trace(
-    trace: CompiledTrace, capacity: int, *, method: str = "distance"
+    trace: CompiledTrace,
+    capacity: int,
+    *,
+    method: str = "distance",
+    scalar_run: int = _SCALAR_RUN,
 ) -> LruReplayResult:
     """Array-based LRU replay of a compiled trace.
 
@@ -478,10 +775,13 @@ def lru_replay_trace(
     O(n) pass — the natural shape for resource-augmentation sweeps.
     ``method="simulate"`` runs the adaptive chunked simulation instead
     (cheaper for a single replay of a heavily-thrashing trace; also an
-    independent implementation the tests cross-check).
+    independent implementation the tests cross-check); ``scalar_run``
+    overrides its scalar/vector switch threshold.
     """
     if method == "simulate":
-        loads, evict_stores, flush = _replay(trace, capacity, belady=False)
+        loads, evict_stores, flush = _replay(
+            trace, capacity, belady=False, scalar_run=scalar_run
+        )
     else:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -503,9 +803,37 @@ def lru_replay_trace(
     )
 
 
-def belady_replay_trace(trace: CompiledTrace, capacity: int) -> BeladyReplayResult:
-    """Array-based Belady/MIN replay of a compiled trace."""
-    loads, evict_stores, flush = _replay(trace, capacity, belady=True)
+def belady_replay_trace(
+    trace: CompiledTrace,
+    capacity: int,
+    *,
+    method: str = "simulate",
+    scalar_run: int = _SCALAR_RUN,
+) -> BeladyReplayResult:
+    """Array-based Belady/MIN replay of a compiled trace.
+
+    ``method="simulate"`` (default) runs the adaptive chunked engine —
+    still the cheapest way to replay one capacity of a fresh trace.
+    ``method="distance"`` classifies the access against a grouped OPT
+    stack pass (:func:`_belady_buckets`, cached per capacity grid), the
+    path :func:`sweep_replay_trace` amortizes across a whole sweep; both
+    produce bit-identical counts.
+    """
+    if method == "simulate":
+        loads, evict_stores, flush = _replay(
+            trace, capacity, belady=True, scalar_run=scalar_run
+        )
+    elif method == "distance":
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        caps, bucket, index = _bucket_grid_for(trace, int(capacity))
+        loads, evict_stores, flush = _belady_counts_from_buckets(
+            trace, bucket, caps, index
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown replay method {method!r}; choose 'simulate' or 'distance'"
+        )
     probe = get_probe()
     if probe.enabled:
         probe.count("replay.belady.replays")
@@ -521,6 +849,116 @@ def belady_replay_trace(trace: CompiledTrace, capacity: int) -> BeladyReplayResu
         distinct=trace.n_elements,
         evict_stores=evict_stores,
     )
+
+
+def _sweep_task(task) -> list[tuple[int, int, int]]:
+    """Worker for sharded sweeps: replay one chunk of capacities."""
+    trace, policy, method, scalar_run, caps = task
+    out = []
+    for capacity in caps:
+        loads, evict_stores, flush = _replay_counts(
+            trace, capacity, policy, method, scalar_run
+        )
+        out.append((loads, evict_stores, flush))
+    return out
+
+
+def _replay_counts(
+    trace: CompiledTrace, capacity: int, policy: str, method: str, scalar_run: int
+) -> tuple[int, int, int]:
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    if method == "simulate":
+        return _replay(
+            trace, capacity, belady=policy == "belady", scalar_run=scalar_run
+        )
+    if policy == "belady":
+        caps, bucket, index = _bucket_grid_for(trace, int(capacity))
+        return _belady_counts_from_buckets(trace, bucket, caps, index)
+    return _lru_counts_from_distances(trace, capacity)
+
+
+def sweep_replay_trace(
+    trace: CompiledTrace,
+    capacities,
+    *,
+    policy: str = "belady",
+    method: str = "distance",
+    jobs: int = 1,
+    scalar_run: int = _SCALAR_RUN,
+) -> list[LruReplayResult]:
+    """Replay one trace at many capacities; results in input order.
+
+    ``method="distance"`` makes the whole sweep one pass: LRU classifies
+    every capacity against the cached reuse distances, Belady against one
+    grouped OPT stack pass over the *canonical grid* of all requested
+    capacities (:func:`_belady_buckets`), leaving only an O(n) counting
+    step per capacity.  ``method="simulate"`` runs the chunked engine per
+    capacity — the independent implementation the sweep tests pin
+    against.  ``jobs > 1`` shards the capacity list over a worker pool
+    (:func:`repro.perf.pool.parallel_map`); the parent precomputes the
+    shared artifacts so workers inherit them via the pickled trace, and
+    the merge is in capacity order — results never depend on ``jobs``.
+    Engine probe counters are emitted from the parent (worker probes are
+    process-local and deliberately lost); a Belady distance sweep
+    additionally counts ``replay.belady.sweep_one_pass``.
+    """
+    if policy not in ("lru", "belady"):
+        raise ConfigurationError(
+            f"unknown replay policy {policy!r}; choose 'lru' or 'belady'"
+        )
+    if method not in ("simulate", "distance"):
+        raise ConfigurationError(
+            f"unknown replay method {method!r}; choose 'simulate' or 'distance'"
+        )
+    caps = [int(c) for c in capacities]
+    if not caps:
+        return []
+    probe = get_probe()
+    if method == "distance":
+        # Shared one-pass artifacts, computed (and cached) up front.
+        if policy == "belady":
+            _belady_buckets(trace, _canonical_caps(caps))
+            if probe.enabled:
+                probe.count("replay.belady.sweep_one_pass")
+        else:
+            _reuse_distances(trace)
+        _element_runs(trace)
+    jobs = min(int(jobs), len(caps))
+    if jobs <= 1:
+        counts = [_replay_counts(trace, c, policy, method, scalar_run) for c in caps]
+    else:
+        from ..perf.pool import parallel_map
+
+        bounds = [len(caps) * k // jobs for k in range(jobs + 1)]
+        tasks = [
+            (trace, policy, method, scalar_run, tuple(caps[bounds[k] : bounds[k + 1]]))
+            for k in range(jobs)
+            if bounds[k] < bounds[k + 1]
+        ]
+        counts = [triple for chunk in parallel_map(_sweep_task, tasks, jobs=jobs)
+                  for triple in chunk]
+    cls = BeladyReplayResult if policy == "belady" else LruReplayResult
+    results = [
+        cls(
+            capacity=c,
+            loads=loads,
+            stores=evict_stores + flush,
+            n_accesses=trace.n_accesses,
+            distinct=trace.n_elements,
+            evict_stores=evict_stores,
+        )
+        for c, (loads, evict_stores, flush) in zip(caps, counts)
+    ]
+    if probe.enabled:
+        prefix = f"replay.{policy}"
+        probe.count(f"{prefix}.replays", len(results))
+        probe.count(f"{prefix}.accesses", trace.n_accesses * len(results))
+        misses = sum(r.loads for r in results)
+        probe.count(f"{prefix}.misses", misses)
+        probe.count(f"{prefix}.hits", trace.n_accesses * len(results) - misses)
+        probe.count(f"{prefix}.stores", sum(r.stores for r in results))
+    return results
 
 
 # --------------------------------------------------------------------- #
