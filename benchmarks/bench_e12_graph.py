@@ -54,7 +54,7 @@ def test_e12_graph_rescheduling(once):
             title=(
                 f"E12 {CASES[kernel]}: n={n} m={mcols} S={s} — {len(g)} ops, "
                 f"{counts['raw']}/{counts['war']}/{counts['waw']}/{counts['reduction']} "
-                f"RAW/WAR/WAW/reduction edges, critical path {g.critical_path_length()}"
+                f"RAW/WAR/WAW/reduction edges, critical path {int(g.critical_path_cost())}"
             ),
         )
         for row in comp.rows:
@@ -96,7 +96,7 @@ def test_e12_graph_rescheduling(once):
 
     # Structure claim: accumulate-only kernels have span O(M); Cholesky's
     # dependence chain is an order of magnitude deeper.
-    assert results["tbs"][1].graph.critical_path_length() <= SIZES["tbs"][1] + 1
-    assert results["chol"][1].graph.critical_path_length() > 3 * (
-        results["tbs"][1].graph.critical_path_length()
+    assert int(results["tbs"][1].graph.critical_path_cost()) <= SIZES["tbs"][1] + 1
+    assert int(results["chol"][1].graph.critical_path_cost()) > 3 * (
+        int(results["tbs"][1].graph.critical_path_cost())
     )

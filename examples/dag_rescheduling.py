@@ -38,7 +38,7 @@ def main() -> None:
         f"{counts['reduction']} reduction (commuting +=)"
     )
     print(
-        f"critical path: {graph.critical_path_length()} ops across "
+        f"critical path: {int(graph.critical_path_cost())} ops across "
         f"{len(graph.reduction_classes())} reduction classes — "
         "the DAG is almost embarrassingly parallel"
     )

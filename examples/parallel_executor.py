@@ -40,7 +40,7 @@ def main() -> None:
     graph = DependencyGraph.from_trace(case.trace)
     print(
         f"recorded {len(graph)} compute ops; critical path "
-        f"{graph.critical_path_length()} — every antichain level is a set of "
+        f"{int(graph.critical_path_cost())} — every antichain level is a set of "
         "ops the nodes may run concurrently"
     )
 

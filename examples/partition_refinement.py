@@ -42,7 +42,7 @@ def main() -> None:
     bound = parallel_syrk_lower_bound_per_node(N, M, P, S)
     print(
         f"recorded {len(graph)} compute ops; critical path "
-        f"{graph.critical_path_length()} ops "
+        f"{int(graph.critical_path_cost())} ops "
         f"({int(graph.critical_path_cost(mults))} mults weighted); "
         f"per-node receive bound {bound:,.0f}"
     )

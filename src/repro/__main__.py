@@ -25,20 +25,27 @@ Commands
               per-node lower bounds, plus a mults-weighted makespan per
               row; ``--refine`` additionally runs the transfer-aware
               partition refiner on each partitioner's assignment
+``cosearch``  jointly search op order *and* op ownership as one annealing
+              walk (:mod:`repro.parallel.cosearch`): a portfolio of
+              {partitioner} × {order} seeds, one unified latency
+              objective (makespan + β·bottleneck I/O), never worse than
+              the best measured seed
 ``report``    pretty-print a saved run report (provenance, phase
               wall-times, engine counters, convergence curves)
 
 ``search --chains K --jobs N`` anneals K independent chains (a temperature
 portfolio merged by best cost) across N worker processes, ``parallel
---jobs N`` fans the per-partitioner refines out the same way, and ``trace
-replay --jobs N`` shards its capacity sweep — all default to serial and
-are bit-identical at any job count (see :mod:`repro.perf`).
+--jobs N`` fans the per-partitioner refines out the same way, ``cosearch
+--jobs N`` fans its portfolio chains, and ``trace replay --jobs N`` shards
+its capacity sweep — all default to serial and are bit-identical at any
+job count (see :mod:`repro.perf`).
 
-The ``search`` and ``parallel`` commands accept ``--report PATH`` (write
-the run's probe state — provenance, timers, counters, convergence series —
-as a ``repro.report/v1`` JSON document) and ``--timeline PATH`` (export
-the best row's simulated schedule as a Chrome trace-event JSON that
-``chrome://tracing`` and ui.perfetto.dev open directly).
+The ``search``, ``parallel`` and ``cosearch`` commands accept ``--report
+PATH`` (write the run's probe state — provenance, timers, counters,
+convergence series — as a ``repro.report/v1`` JSON document) and
+``--timeline PATH`` (export the best row's simulated schedule as a Chrome
+trace-event JSON that ``chrome://tracing`` and ui.perfetto.dev open
+directly).
 
 Examples
 --------
@@ -59,6 +66,7 @@ Examples
     python -m repro parallel --kernel tbs --n 40 --m 6 --s 15 --p 4 --refine greedy
     python -m repro parallel --kernel tbs --n 120 --m 6 --s 15 --p 4 --refine anneal \\
         --report run.json --timeline run_trace.json
+    python -m repro cosearch --kernel tbs --n 60 --m 6 --s 15 --p 4 --iters 400
     python -m repro report run.json
 """
 
@@ -192,7 +200,7 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     print(
         f"{len(g)} compute ops; edges: {counts['raw']} RAW, {counts['war']} WAR, "
         f"{counts['waw']} WAW, {counts['reduction']} reduction; "
-        f"critical path {g.critical_path_length()} ops; "
+        f"critical path {int(g.critical_path_cost())} ops; "
         f"{len(g.reduction_classes())} reduction classes"
     )
     t = Table(["order / policy", "Q (loads)", "stores", "Q/bound", "legal", "bit-exact"])
@@ -238,7 +246,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     ))
     print(
         f"{len(graph)} compute ops, {len(graph.reduction_classes())} reduction "
-        f"classes, critical path {graph.critical_path_length()} ops"
+        f"classes, critical path {int(graph.critical_path_cost())} ops"
     )
     opt = belady_replay(case.trace, args.s)
     lru = lru_replay(case.trace, args.s)
@@ -422,7 +430,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     ))
     print(
         f"{len(graph)} compute ops, critical path "
-        f"{graph.critical_path_length()} ops "
+        f"{int(graph.critical_path_cost())} ops "
         f"({int(graph.critical_path_cost(mults)):,} mults weighted); "
         f"single-node explicit Q = {case.explicit_loads:,}"
     )
@@ -499,6 +507,85 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     print("'recv+xfer' the per-node sum — the quantity `--refine` minimizes.")
     print("'makespan' is the weighted latency model (per-op cost = mults, per-cross-")
     print(f"edge cost = {args.alpha:g} + {args.beta:g}*elements); critical path is printed in both units.")
+    return 0
+
+
+def _cmd_cosearch(args: argparse.Namespace) -> int:
+    from .graph.compare import record_case
+    from .graph.dependency import DependencyGraph
+    from .parallel.cosearch import cosearch
+    from .parallel.makespan import makespan_model
+
+    relax = not args.no_relax
+    with timed("cosearch.record"):
+        case = record_case(args.kernel, args.n, args.m, args.s)
+        graph = DependencyGraph.from_trace(case.trace)
+    mults = [float(node.op.mults) for node in graph.nodes]
+    total_mults = sum(mults)
+    print(banner(
+        f"joint order x partition co-search: {args.kernel} "
+        f"n={args.n} m={args.m} S={args.s}"
+    ))
+    print(
+        f"{len(graph)} compute ops, {len(graph.reduction_classes())} reduction "
+        f"classes; critical path {int(graph.critical_path_cost(mults)):,} mults"
+    )
+    t = Table(
+        ["P", "schedule", "makespan", "max io", "J", "vs seed", "x work/P"]
+    )
+    best: "tuple | None" = None  # (result, p) with the lowest makespan, p > 1
+
+    for p in args.p:
+        with timed(f"cosearch.p{p}"):
+            res = cosearch(
+                graph, p, args.s, iters=args.iters, seed=args.seed,
+                jobs=args.jobs, alpha=args.alpha, beta=args.beta,
+                relax_reductions=relax,
+                search_kwargs={
+                    "anneal": {"iters": args.search_iters, "seed": args.seed}
+                },
+            )
+        seed_label = min(res.seed_costs, key=lambda k: res.seed_costs[k])
+        t.add_row(
+            [p, f"best seed: {seed_label}", "-", "-",
+             format_int(int(res.seed_cost)), "-", "-"]
+        )
+        gain = (
+            (1.0 - res.cost / res.seed_cost) * 100.0 if res.seed_cost else 0.0
+        )
+        work_floor = total_mults / p if p else 0.0
+        t.add_row(
+            [p, "co-search" + (" (reverted)" if res.reverted else ""),
+             format_int(int(res.makespan)),
+             format_int(res.measured.bottleneck_io),
+             format_int(int(res.cost)), f"-{gain:.1f}%",
+             f"{res.makespan / work_floor:.3f}" if work_floor else "-"]
+        )
+        if p > 1 and (best is None or res.makespan < best[0].makespan):
+            best = (res, p)
+    print(t.render())
+    if args.timeline:
+        from .obs.timeline import export_timeline
+
+        res, p = best if best is not None else (res, args.p[-1])
+        span = makespan_model(
+            graph, list(res.owner), p=p, order=res.order, alpha=args.alpha,
+            beta=args.beta, relax_reductions=relax,
+        )
+        export_timeline(
+            graph, span, args.timeline,
+            label=f"{args.kernel} n={args.n} S={args.s} p={p} cosearch",
+        )
+        print(f"timeline written to {args.timeline} "
+              f"(p={p}, makespan {int(span.makespan):,})")
+    print("\n'J' is the unified objective: latency-model makespan (per-op cost =")
+    print(f"mults, per-cross-edge cost = {args.alpha:g} + {args.beta:g}*elements) plus "
+          f"{args.beta:g} x the bottleneck")
+    print("node's (LRU shard loads + incoming transfers).  'best seed' is the")
+    print("measured best of the {partitioner} x {order} portfolio — the decoupled")
+    print("pipelines the joint walk must beat; the co-search row is never worse.")
+    if relax:
+        print("Reduction classes relaxed: results equal up to FP reassociation.")
     return 0
 
 
@@ -635,6 +722,36 @@ def main(argv: list[str] | None = None) -> int:
                             "trace-event JSON (one track per node, transfers "
                             "as flow arrows)")
 
+    p_cos = sub.add_parser(
+        "cosearch", help="joint order x partition co-search report"
+    )
+    p_cos.add_argument("--kernel", choices=sorted(CASES), default="tbs")
+    p_cos.add_argument("--n", type=int, default=40)
+    p_cos.add_argument("--m", type=int, default=6)
+    p_cos.add_argument("--s", type=int, default=15)
+    p_cos.add_argument("--p", type=int, nargs="+", default=[4])
+    p_cos.add_argument("--iters", type=int, default=600,
+                       help="annealing steps per co-search chain")
+    p_cos.add_argument("--search-iters", type=int, default=200,
+                       help="annealing steps for the order-search seeds")
+    p_cos.add_argument("--seed", type=int, default=0,
+                       help="base RNG seed (chain k gets a derived stream)")
+    p_cos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes fanning the portfolio chains")
+    p_cos.add_argument("--alpha", type=float, default=1.0,
+                       help="per-cross-edge latency constant of the makespan model")
+    p_cos.add_argument("--beta", type=float, default=1.0,
+                       help="per-transferred-element latency of the makespan model")
+    p_cos.add_argument("--no-relax", action="store_true",
+                       help="keep reduction chains in recorded order "
+                            "(bit-exact numerics, smaller move space)")
+    p_cos.add_argument("--report", default=None, metavar="PATH",
+                       help="write the run report (provenance, timers, "
+                            "counters, convergence series) as JSON")
+    p_cos.add_argument("--timeline", default=None, metavar="PATH",
+                       help="export the winning schedule of the lowest-"
+                            "makespan P as a Chrome trace-event JSON")
+
     p_rep = sub.add_parser("report", help="pretty-print a saved run report")
     p_rep.add_argument("path", help="a --report JSON written by search/parallel")
 
@@ -649,6 +766,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "trace": _cmd_trace,
         "parallel": _cmd_parallel,
+        "cosearch": _cmd_cosearch,
         "report": _cmd_report,
     }[args.command]
     report_path = getattr(args, "report", None)

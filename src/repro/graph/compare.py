@@ -36,7 +36,7 @@ from .dependency import DependencyGraph
 from .policies import belady_replay
 from .rewriter import RewriteResult, reschedule, rewrite_schedule
 from .scheduler import HEURISTICS
-from .search import search_order
+from .search import SearchResult, search_order
 
 #: Kernels the harness can record (name -> human description).
 CASES = {
@@ -170,6 +170,31 @@ def sweep_case(
     }
 
 
+def searched_orders(
+    graph: DependencyGraph,
+    capacity: int,
+    strategies: tuple[str, ...],
+    *,
+    relax_reductions: bool = False,
+    search_kwargs: dict | None = None,
+) -> "dict[str, SearchResult]":
+    """Run each named search strategy; ``{"search:<name>": SearchResult}``.
+
+    The labeled-order producer shared by :func:`compare_case` (which
+    dresses each order into an explicit stream) and the joint co-search's
+    seed portfolio (:mod:`repro.parallel.cosearch`, which pairs each order
+    with every partitioner).  ``search_kwargs`` maps a strategy name to
+    extra keyword arguments; ``relax_reductions`` is the per-strategy
+    default, overridable per strategy through ``search_kwargs``.
+    """
+    found: dict[str, SearchResult] = {}
+    for strategy in strategies:
+        kwargs = dict((search_kwargs or {}).get(strategy, {}))
+        kwargs.setdefault("relax_reductions", relax_reductions)
+        found[f"search:{strategy}"] = search_order(graph, capacity, strategy, **kwargs)
+    return found
+
+
 @dataclass
 class ComparisonRow:
     """One line of the E12 table: an order/policy pair and its volume."""
@@ -241,25 +266,22 @@ def compare_case(
                 exact=exact,
             )
         )
-    for strategy in search_strategies:
-        kwargs = dict((search_kwargs or {}).get(strategy, {}))
-        kwargs.setdefault("relax_reductions", relax_reductions)
-        found = search_order(graph, case.capacity, strategy, **kwargs)
+    for label, found in searched_orders(
+        graph, case.capacity, tuple(search_strategies),
+        relax_reductions=relax_reductions, search_kwargs=search_kwargs,
+    ).items():
         rewrite = rewrite_schedule(
             trace, case.capacity, found.order, graph=graph,
             relax_reductions=found.relax_reductions,
         )
-        rewrite.heuristic = f"search:{strategy}"
+        rewrite.heuristic = label
         exact = (
             case.check_exact(rewrite.schedule)
             if check_numerics and not found.relax_reductions
             else None
         )
-        comp.rewrites[f"search:{strategy}"] = rewrite
+        comp.rewrites[label] = rewrite
         comp.rows.append(
-            ComparisonRow(
-                f"search:{strategy}", rewrite.loads, rewrite.stores,
-                valid=True, exact=exact,
-            )
+            ComparisonRow(label, rewrite.loads, rewrite.stores, valid=True, exact=exact)
         )
     return comp

@@ -37,6 +37,7 @@ Edge kinds:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -259,26 +260,36 @@ class DependencyGraph:
         return depth
 
     def critical_path_length(self) -> int:
-        """Longest chain length in *nodes* — the unweighted span of the DAG.
+        """Deprecated: longest chain length in *nodes* (the unweighted span).
 
         This counts ops, not work: comparing it against compute volumes
-        (mults) is a unit error.  For a span in the same unit as the fleet
-        metrics, use :meth:`critical_path_cost` with per-op mults.
+        (mults) is a unit error — the footgun the docs have warned about
+        since the makespan model landed.  Use :meth:`critical_path_cost`
+        instead: no argument for the same op count, per-op mults for a
+        span in the unit of the fleet metrics.
         """
-        if not self.nodes:
-            return 0
-        return max(self.depths()) + 1
+        warnings.warn(
+            "critical_path_length() counts ops, not work; use "
+            "critical_path_cost() (unit weights, same value) or "
+            "critical_path_cost(mults) (work-weighted span)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return int(self.critical_path_cost())
 
-    def critical_path_cost(self, weights: "Sequence[float]") -> float:
+    def critical_path_cost(self, weights: "Sequence[float] | None" = None) -> float:
         """Longest weighted chain — the span in the unit of ``weights``.
 
         ``weights[v]`` is the cost of op ``v`` (the fleet metrics use
         mults); the returned value is the maximum over all dependence
         chains of the summed weights, i.e. the runtime floor of any
-        schedule on unboundedly many nodes with free communication.  With
-        unit weights this equals :meth:`critical_path_length`.
+        schedule on unboundedly many nodes with free communication.
+        ``weights=None`` means unit weights: the chain length in ops, the
+        value the deprecated :meth:`critical_path_length` reported.
         """
-        if len(weights) != len(self.nodes):
+        if weights is None:
+            weights = [1.0] * len(self.nodes)
+        elif len(weights) != len(self.nodes):
             raise ConfigurationError(
                 f"weights has {len(weights)} entries for {len(self.nodes)} ops"
             )

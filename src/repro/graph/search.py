@@ -368,6 +368,75 @@ def _start_order(graph: DependencyGraph, start, relax: bool) -> list[int]:
 _CHAIN_TEMP_LADDER = (1.0, 0.5, 2.0, 0.25, 4.0)
 
 
+def reduction_class_of(graph: DependencyGraph) -> list[int]:
+    """Per-op reduction-class index (``-1`` for ops in no class).
+
+    The dense lookup the segment-aware move generator keys on; shared by
+    :func:`anneal_search` and the joint co-search layer
+    (:mod:`repro.parallel.cosearch`).
+    """
+    class_of = [-1] * len(graph)
+    for ci, members in enumerate(graph.reduction_classes()):
+        for v in members:
+            class_of[v] = ci
+    return class_of
+
+
+def propose_segment_move(
+    order: list[int],
+    class_of: list[int],
+    rng: random.Random,
+    *,
+    max_segment: int = 12,
+) -> tuple[int, int, list[int]]:
+    """One order move: ``(window start, window end, new segment)``.
+
+    The reduction-class-aware neighborhood shared by every order annealer
+    here and by the joint co-search: most proposals pick the contiguous
+    run of same-class ops around a random position and reverse it, rotate
+    it, or swap it with the following run; the rest reverse/rotate a
+    generic window of at most ``max_segment`` ops.  Needs ``len(order) >=
+    2``; the proposal may be a no-op (callers compare against the current
+    window) and is *not* legality-checked — that stays with the caller,
+    which owns the graph.
+    """
+    n = len(order)
+
+    def class_run(p: int) -> tuple[int, int]:
+        """Maximal run of same-class ops around position ``p`` (may be p,p+1)."""
+        ci = class_of[order[p]]
+        i = p
+        while i > 0 and class_of[order[i - 1]] == ci:
+            i -= 1
+        j = p + 1
+        while j < n and class_of[order[j]] == ci:
+            j += 1
+        return i, j
+
+    if rng.random() < 0.6:
+        p = rng.randrange(n)
+        if class_of[order[p]] >= 0:
+            i, j = class_run(p)
+            if j - i >= 2:
+                seg = order[i:j]
+                kind = rng.random()
+                if kind < 0.5:
+                    return i, j, seg[::-1]
+                if kind < 0.75:
+                    r = rng.randrange(1, len(seg))
+                    return i, j, seg[r:] + seg[:r]
+                if j < n:  # swap this run with the one after it
+                    _, k = class_run(j)
+                    return i, k, order[j:k] + seg
+    i = rng.randrange(0, n - 1)
+    j = min(n, i + rng.randrange(2, max_segment + 1))
+    seg = order[i:j]
+    if rng.random() < 0.5:
+        return i, j, seg[::-1]
+    r = rng.randrange(1, len(seg))
+    return i, j, seg[r:] + seg[:r]
+
+
 def _anneal_chain(
     graph: DependencyGraph,
     capacity: int,
@@ -422,51 +491,15 @@ def _anneal_chain(
     # replay_from(0, ...) rebuilds every snapshot, so snaps is complete.
     best_order, best_cost = list(order), cur_cost
 
-    # Reduction-class membership drives the segment-aware moves.
-    class_of = [-1] * n
-    for ci, members in enumerate(graph.reduction_classes()):
-        for v in members:
-            class_of[v] = ci
-
-    def class_run(p: int) -> tuple[int, int]:
-        """Maximal run of same-class ops around position ``p`` (may be p,p+1)."""
-        ci = class_of[order[p]]
-        i = p
-        while i > 0 and class_of[order[i - 1]] == ci:
-            i -= 1
-        j = p + 1
-        while j < n and class_of[order[j]] == ci:
-            j += 1
-        return i, j
-
-    def propose() -> tuple[int, int, list[int]]:
-        """One neighborhood move: (window start, window end, new segment)."""
-        if rng.random() < 0.6:
-            p = rng.randrange(n)
-            if class_of[order[p]] >= 0:
-                i, j = class_run(p)
-                if j - i >= 2:
-                    seg = order[i:j]
-                    kind = rng.random()
-                    if kind < 0.5:
-                        return i, j, seg[::-1]
-                    if kind < 0.75:
-                        r = rng.randrange(1, len(seg))
-                        return i, j, seg[r:] + seg[:r]
-                    if j < n:  # swap this run with the one after it
-                        _, k = class_run(j)
-                        return i, k, order[j:k] + seg
-        i = rng.randrange(0, n - 1)
-        j = min(n, i + rng.randrange(2, max_segment + 1))
-        seg = order[i:j]
-        if rng.random() < 0.5:
-            return i, j, seg[::-1]
-        r = rng.randrange(1, len(seg))
-        return i, j, seg[r:] + seg[:r]
+    # Reduction-class membership drives the segment-aware moves; the
+    # neighborhood itself is the shared :func:`propose_segment_move`.
+    class_of = reduction_class_of(graph)
 
     def step(_rng: random.Random):
-        # propose() closes over the same rng the loop drives.
-        i, j, segment = propose()
+        # the proposer draws from the same rng the loop drives.
+        i, j, segment = propose_segment_move(
+            order, class_of, rng, max_segment=max_segment
+        )
         if segment == order[i:j]:
             return None
         candidate = order[:i] + segment + order[j:]

@@ -32,6 +32,16 @@ moves, incremental ``max(recv + transfer_in)`` ledger, greedy and annealing
 drivers) and never returns a partition measured worse than its seed, and
 :mod:`repro.parallel.makespan` scores any ``(owner, order)`` pair with a
 mults-weighted critical-path/latency model — experiment E16 measures both.
+
+:mod:`repro.parallel.cosearch` closes the loop: instead of searching the
+op *order* (``repro.graph.search``) and the op *ownership* (``refine``)
+in separate silos, one annealing walk interleaves both move kinds through
+a single :class:`~repro.parallel.cosearch.CoSearchState` — an exact-cover
+partition ledger plus a checkpointed :class:`~repro.parallel.makespan.
+MakespanLedger` that re-scores only the schedule suffix a move can touch
+— under one latency objective, and never returns a schedule measured
+worse than the best seed of its {partitioner} x {order} portfolio.
+Experiment E18 measures the joint walk against the decoupled pipelines.
 """
 
 from .executor import (
@@ -44,7 +54,15 @@ from .executor import (
     partition_graph,
     shard_schedule,
 )
-from .makespan import MakespanResult, makespan_model
+from .cosearch import (
+    CoSearchCost,
+    CoSearchResult,
+    CoSearchState,
+    cosearch,
+    cosearch_cost,
+    cosearch_portfolio,
+)
+from .makespan import MakespanLedger, MakespanResult, makespan_model
 from .partition import (
     BlockSpec,
     NodeAssignment,
@@ -57,6 +75,7 @@ from .refine import (
     REFINE_STRATEGIES,
     PartitionLedger,
     RefineResult,
+    movable_units,
     partition_cost,
     refine_partition,
     refine_partitions,
@@ -75,12 +94,20 @@ __all__ = [
     "balance_cap",
     "square_tile_assignment",
     "triangle_block_assignment",
+    "MakespanLedger",
     "MakespanResult",
     "makespan_model",
+    "CoSearchCost",
+    "CoSearchResult",
+    "CoSearchState",
+    "cosearch",
+    "cosearch_cost",
+    "cosearch_portfolio",
     "EVAL_POLICIES",
     "REFINE_STRATEGIES",
     "PartitionLedger",
     "RefineResult",
+    "movable_units",
     "partition_cost",
     "refine_partition",
     "refine_partitions",

@@ -1,0 +1,715 @@
+"""Joint (order × ownership) co-search: one scheduler state, one objective.
+
+The two siloed engines each optimize one coordinate of a parallel
+schedule while holding the other fixed: the order search
+(:mod:`repro.graph.search`) moves op order against a sequential LRU
+objective, the partition refiner (:mod:`repro.parallel.refine`) moves op
+ownership against ``max(recv + transfer_in)``, and the makespan model
+only scores the result after the fact.  But a schedule is an
+``(order, owner)`` *pair*, and the coordinates interact: which node owns
+an op decides whose cache its footprint pollutes, and where an op sits in
+the order decides which transfers serialize on the critical path.
+Kwasniewski et al. (arXiv 2010.05975) get near-optimal parallel I/O
+precisely by choosing placement and schedule together; this module is
+that experiment for our DAGs.
+
+:class:`CoSearchState` threads one state object through *both* move
+kinds — the reduction-class segment moves of the order annealer
+(:func:`repro.graph.search.propose_segment_move`) and the
+single-op / reduction-class / write-group ownership moves of the refiner
+(:func:`repro.parallel.refine.movable_units` over a
+:class:`~repro.parallel.refine.PartitionLedger`) — under one unified
+latency objective
+
+    ``J(order, owner) = makespan(order, owner; alpha, beta)
+                        + beta * max_q(lru_loads_q + transfer_in_q)``
+
+makespan in op-weight units (mults) with cross-edge latencies
+``alpha + beta * flow``, plus the bottleneck node's I/O time: its LRU
+replay loads of the order-induced shard sub-sequence at capacity ``S``
+and its incoming transfer volume, both converted to time by ``beta``.
+Every term is delta-evaluable from the leftmost changed position, so the
+anneal inner loop stays hot: the makespan re-scores through
+:class:`~repro.parallel.makespan.MakespanLedger` checkpoints, the
+per-node LRU loads through one checkpointed
+:class:`~repro.trace.replay.LruCursor` per node, and the transfers
+through the refiner's exact ledger.  Like its exemplars, the state
+exposes a ``profitable()`` cost-model gate next to its move generators.
+
+The driver (:func:`cosearch`) runs the shared Metropolis harness
+(:func:`repro.graph.search.anneal_minimize`) from a seed portfolio of
+{all partitioners} × {recorded + heuristic + searched orders}, fanning
+one chain per seed over the process pool (:mod:`repro.perf.pool` —
+chain 0 is the classic serial run and the merged result is bit-identical
+at any ``jobs``).  The model only *ranks*: seeds and winner are
+re-measured with real per-shard replays (:func:`cosearch_cost`) and the
+best measured seed is returned whenever the search did not genuinely
+improve on it — co-search can never hand back a worse schedule than the
+best thing it was seeded with.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError, ScheduleError
+from ..graph.compare import searched_orders
+from ..graph.dependency import DependencyGraph
+from ..graph.scheduler import list_schedule
+from ..graph.search import (
+    _CHAIN_TEMP_LADDER,
+    anneal_minimize,
+    propose_segment_move,
+    reduction_class_of,
+)
+from ..obs.convergence import AnnealSeries
+from ..obs.probe import get_probe
+from ..perf.pool import parallel_map, task_seed
+from ..trace.replay import LruCursor, lru_replay_trace
+from .executor import PARTITIONERS, partition_graph
+from .makespan import MakespanLedger, makespan_model
+from .partition import balance_cap
+from .refine import PartitionLedger, movable_units
+
+
+@dataclass(frozen=True)
+class CoSearchCost:
+    """The measured unified objective of one ``(order, owner)`` pair."""
+
+    p: int
+    s: int
+    alpha: float
+    beta: float
+    #: latency-model makespan of the pair (mults + cross-edge latencies).
+    makespan: float
+    #: per-node LRU replay loads of the order-induced shard sub-sequences.
+    loads: tuple[int, ...]
+    #: per-node incoming transfer volumes (``cut_transfers``, deduplicated).
+    transfer_in: tuple[int, ...]
+
+    @property
+    def bottleneck_io(self) -> int:
+        """``max_q(loads_q + transfer_in_q)`` — the I/O bottleneck."""
+        return max(
+            (l + t for l, t in zip(self.loads, self.transfer_in)), default=0
+        )
+
+    @property
+    def cost(self) -> float:
+        """``makespan + beta * bottleneck_io`` — the co-search objective."""
+        return self.makespan + self.beta * self.bottleneck_io
+
+
+def cosearch_cost(
+    graph: DependencyGraph,
+    owner: Sequence[int],
+    p: int,
+    s: int,
+    *,
+    order: Sequence[int] | None = None,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    relax_reductions: bool = False,
+) -> CoSearchCost:
+    """Measure the unified objective of a pair with real per-shard replays.
+
+    The ground truth the incremental ledgers are checked against: the
+    makespan comes from a cold :func:`~repro.parallel.makespan.makespan_model`
+    pass, each node's loads from the array LRU engine replaying its
+    order-induced sub-trace (shared interning, no recompilation), and the
+    transfers from :meth:`~repro.graph.dependency.DependencyGraph.cut_transfers`.
+    """
+    if graph.trace is None:
+        raise ConfigurationError(
+            "cosearch_cost needs the graph's compiled trace; build the "
+            "graph with DependencyGraph.from_trace/from_schedule"
+        )
+    n = len(graph)
+    if len(owner) != n:
+        raise ConfigurationError(f"owner has {len(owner)} entries for {n} ops")
+    if n and not (0 <= min(owner) and max(owner) < p):
+        raise ConfigurationError(f"owner indices must lie in 0..{p - 1}")
+    span = makespan_model(
+        graph, owner, p=p, order=order, alpha=alpha, beta=beta,
+        relax_reductions=relax_reductions,
+    )
+    transfer_in = [0] * p
+    for (_src, dst), elems in graph.cut_transfers(list(owner)).items():
+        transfer_in[dst] += len(elems)
+    shard_seq: list[list[int]] = [[] for _ in range(p)]
+    for v in (order if order is not None else range(n)):
+        shard_seq[owner[v]].append(v)
+    loads = tuple(
+        lru_replay_trace(graph.trace.select_ops(seq), s).loads if seq else 0
+        for seq in shard_seq
+    )
+    return CoSearchCost(
+        p=p, s=s, alpha=float(alpha), beta=float(beta),
+        makespan=span.makespan, loads=loads, transfer_in=tuple(transfer_in),
+    )
+
+
+class CoSearchState:
+    """One scheduler state threaded through both move kinds.
+
+    Holds the committed ``(order, owner)`` pair and three incremental
+    models of the unified objective — the
+    :class:`~repro.parallel.makespan.MakespanLedger` (latency), one
+    checkpointed :class:`~repro.trace.replay.LruCursor` per node (shard
+    loads), and the refiner's :class:`~repro.parallel.refine.PartitionLedger`
+    (exact transfers + balance cap).  The LRU checkpoints share the
+    makespan ledger's interval, so both move kinds re-evaluate exactly the
+    order suffix they changed.
+
+    Invariants (the property suite pins them): the owner map is an exact
+    cover of the op set at every step, the order stays a legal order of
+    the graph under ``relax_reductions``, and :meth:`cost` always equals
+    the measured :func:`cosearch_cost` of the committed pair bit for bit.
+    """
+
+    def __init__(
+        self,
+        graph: DependencyGraph,
+        owner: Sequence[int],
+        p: int,
+        s: int,
+        *,
+        order: Sequence[int] | None = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        relax_reductions: bool = True,
+        keep_writers_together: bool = False,
+        balance_slack: float | None = 1.5,
+        max_segment: int = 12,
+        order_move_prob: float = 0.5,
+        interval: int | None = None,
+    ):
+        if graph.trace is None:
+            raise ConfigurationError(
+                "co-search needs the graph's compiled trace; build the "
+                "graph with DependencyGraph.from_trace/from_schedule"
+            )
+        if p < 1:
+            raise ConfigurationError(f"p must be >= 1, got {p}")
+        if s < 1:
+            raise ConfigurationError(f"S must be >= 1, got {s}")
+        if not 0.0 <= order_move_prob <= 1.0:
+            raise ConfigurationError(
+                f"order_move_prob must lie in [0, 1], got {order_move_prob}"
+            )
+        n = len(graph)
+        self.graph = graph
+        self.p = p
+        self.s = s
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.relax_reductions = relax_reductions
+        self.max_segment = max_segment
+        self.order_move_prob = order_move_prob
+        order = list(range(n)) if order is None else [int(v) for v in order]
+        self.ledger = PartitionLedger(graph, owner, p)
+        # The makespan ledger validates the order once; every proposal is
+        # re-checked against the graph before it is costed.
+        self.span = MakespanLedger(
+            graph, self.ledger.owner, p=p, order=order, alpha=alpha,
+            beta=beta, relax_reductions=relax_reductions, interval=interval,
+        )
+        self.order = list(order)
+        self.pos = [0] * n
+        for i, v in enumerate(self.order):
+            self.pos[v] = i
+        self.interval = self.span.interval
+        self.class_of = reduction_class_of(graph)
+        self.units, self.op_units = movable_units(
+            graph, keep_writers_together=keep_writers_together
+        )
+        self.group_units = [g for g in self.units if len(g) > 1]
+        self.cap = None
+        if balance_slack is not None:
+            self.cap = max(
+                balance_cap(sum(self.ledger.weights), p, balance_slack),
+                max(self.ledger.loads, default=0),
+            )
+        self.illegal = 0
+        self.order_moves = 0
+        self.owner_moves = 0
+        # Per-node LRU cursors, checkpointed in lockstep with the makespan
+        # ledger: snapshot j holds every node's cache state before position
+        # j*interval of the committed order.
+        self._cursors = [LruCursor(graph.trace, s) for _ in range(p)]
+        self._io_snaps: list[tuple] = [
+            tuple(c.snapshot() for c in self._cursors)
+        ]
+        loads, new_snaps = self._replay_io(0, self.order, self.ledger.owner)
+        if new_snaps:
+            self._io_snaps = new_snaps
+        self._loads = loads
+        self._cost = self._combine(
+            self.span.makespan, loads, self.ledger.transfer_in
+        )
+        #: the measured objective this state started from — the floor the
+        #: never-worse postcondition holds the walk to.
+        self.seed_cost = self._cost
+
+    # -- objective ------------------------------------------------------- #
+
+    def _combine(
+        self, makespan: float, loads: Sequence[int], transfer_in: Sequence[int]
+    ) -> float:
+        worst = 0
+        for q in range(self.p):
+            t = loads[q] + transfer_in[q]
+            if t > worst:
+                worst = t
+        return makespan + self.beta * worst
+
+    def cost(self) -> float:
+        """The committed pair's unified objective ``J``."""
+        return self._cost
+
+    @property
+    def loads(self) -> list[int]:
+        """Per-node LRU loads of the committed pair."""
+        return list(self._loads)
+
+    def profitable(self) -> bool:
+        """Cost-model gate: is the committed state better than the seed?
+
+        The walk's analogue of the exemplar scheduler's ``profitable()``
+        check — the driver only considers adopting a searched state that
+        passes it, and even then the measured objective has the last word.
+        """
+        return self._cost < self.seed_cost
+
+    def _replay_io(
+        self, j0: int, order: Sequence[int], owner: Sequence[int]
+    ) -> tuple[list[int], list[tuple]]:
+        """Replay positions ``j0*interval..n`` through the node cursors."""
+        interval = self.interval
+        cursors = self._cursors
+        for q, c in enumerate(cursors):
+            c.restore(self._io_snaps[j0][q])
+        new_snaps: list[tuple] = []
+        for idx in range(j0 * interval, len(order)):
+            if idx % interval == 0:
+                new_snaps.append(tuple(c.snapshot() for c in cursors))
+            v = order[idx]
+            cursors[owner[v]].apply_op(v)
+        return [c.loads for c in cursors], new_snaps
+
+    # -- move kinds ------------------------------------------------------ #
+
+    def propose_order(self, rng: random.Random):
+        """One segment move of the order; ``(candidate_cost, commit)`` or None."""
+        n = len(self.order)
+        if n < 3:
+            return None
+        i, _j, segment = propose_segment_move(
+            self.order, self.class_of, rng, max_segment=self.max_segment
+        )
+        if segment == self.order[i : i + len(segment)]:
+            return None
+        candidate = self.order[:i] + segment + self.order[i + len(segment):]
+        if not self.graph.is_valid_order(
+            candidate, relax_reductions=self.relax_reductions
+        ):
+            self.illegal += 1
+            return None
+        j0 = i // self.interval
+        cand_ms = self.span.score(order=candidate, from_pos=i)
+        cand_loads, new_snaps = self._replay_io(j0, candidate, self.ledger.owner)
+        cand_cost = self._combine(cand_ms, cand_loads, self.ledger.transfer_in)
+
+        def commit() -> None:
+            self.order = candidate
+            for idx in range(i, i + len(segment)):
+                self.pos[candidate[idx]] = idx
+            self.span.commit()
+            self._io_snaps[j0:] = new_snaps
+            self._loads = cand_loads
+            self._cost = cand_cost
+            self.order_moves += 1
+
+        return cand_cost, commit
+
+    def propose_owner(self, rng: random.Random):
+        """One unit ownership move; ``(candidate_cost, commit)`` or None."""
+        if self.p < 2 or not len(self.graph):
+            return None
+        ledger = self.ledger
+        if self.group_units and rng.random() < 0.3:
+            group = self.group_units[rng.randrange(len(self.group_units))]
+        else:
+            group = self.units[self.op_units[rng.randrange(len(self.graph))][0]]
+        q = rng.randrange(self.p)
+        if all(ledger.owner[v] == q for v in group):
+            return None
+        if self.cap is not None:
+            weight = sum(
+                ledger.weights[v] for v in group if ledger.owner[v] != q
+            )
+            if ledger.loads[q] + weight > self.cap:
+                return None
+        i0 = min(self.pos[v] for v in group)
+        j0 = i0 // self.interval
+        # Evaluate applied (the makespan ledger copies the owner array at
+        # score time), then revert; commit re-applies the same move.
+        undo = ledger.move_group(group, q)
+        cand_ms = self.span.score(owner=ledger.owner, from_pos=i0)
+        cand_loads, new_snaps = self._replay_io(j0, self.order, ledger.owner)
+        cand_cost = self._combine(cand_ms, cand_loads, ledger.transfer_in)
+        ledger.undo(undo)
+
+        def commit() -> None:
+            ledger.move_group(group, q)
+            self.span.commit()
+            self._io_snaps[j0:] = new_snaps
+            self._loads = cand_loads
+            self._cost = cand_cost
+            self.owner_moves += 1
+
+        return cand_cost, commit
+
+    def step(self, rng: random.Random):
+        """One mixed proposal for :func:`anneal_minimize`."""
+        if rng.random() < self.order_move_prob:
+            return self.propose_order(rng)
+        return self.propose_owner(rng)
+
+
+@dataclass
+class CoSearchResult:
+    """One co-search run: the chosen pair plus its accounting."""
+
+    graph: DependencyGraph
+    p: int
+    s: int
+    order: list[int]
+    owner: tuple[int, ...]
+    #: measured unified objective of the returned pair / of the best seed.
+    cost: float = 0.0
+    seed_cost: float = 0.0
+    #: the full measured accounting of the returned pair.
+    measured: CoSearchCost | None = None
+    #: portfolio label of the winning chain's seed.
+    seed_label: str = ""
+    #: measured objective per portfolio seed, keyed by label.
+    seed_costs: dict = field(default_factory=dict)
+    winner_chain: int = 0
+    chain_costs: list = field(default_factory=list)
+    evaluations: int = 0
+    #: True when every chain lost to the best measured seed and that seed
+    #: was returned instead — the hard never-worse postcondition firing.
+    reverted: bool = False
+    params: dict = field(default_factory=dict)
+    #: the winning chain's ``AnnealSeries`` when the run was recorded.
+    convergence: "AnnealSeries | None" = None
+
+    @property
+    def improved(self) -> bool:
+        return self.cost < self.seed_cost
+
+    @property
+    def makespan(self) -> float:
+        return self.measured.makespan if self.measured is not None else 0.0
+
+
+def _cosearch_chain(
+    graph: DependencyGraph,
+    label: str,
+    order: list[int],
+    owner: list[int],
+    p: int,
+    s: int,
+    iters: int,
+    seed: int,
+    alpha: float,
+    beta: float,
+    relax_reductions: bool,
+    keep_writers_together: bool,
+    balance_slack: float | None,
+    max_segment: int,
+    order_move_prob: float,
+    t_start: float,
+    t_end: float,
+    want_series: bool,
+):
+    """One Metropolis chain over ``(order, owner)`` pairs, from one seed.
+
+    Returns a plain tuple (no graph inside) so portfolio chains can run
+    in worker processes and pickle their results back cheaply.  The cold
+    re-measure cross-check of the winner runs in-chain, so a drifted
+    ledger fails loudly wherever the chain ran.
+    """
+    state = CoSearchState(
+        graph, owner, p, s, order=order, alpha=alpha, beta=beta,
+        relax_reductions=relax_reductions,
+        keep_writers_together=keep_writers_together,
+        balance_slack=balance_slack, max_segment=max_segment,
+        order_move_prob=order_move_prob,
+    )
+    series = None
+    if want_series:
+        series = AnnealSeries(label=f"cosearch {label} seed={seed}")
+    rng = random.Random(seed)
+    best = {
+        "cost": state.cost(),
+        "order": list(state.order),
+        "owner": list(state.ledger.owner),
+    }
+
+    def step(step_rng: random.Random):
+        proposal = state.step(step_rng)
+        if proposal is None:
+            return None
+        cand_cost, inner_commit = proposal
+
+        def commit() -> None:
+            inner_commit()
+            if cand_cost < best["cost"]:
+                best["cost"] = cand_cost
+                best["order"] = list(state.order)
+                best["owner"] = list(state.ledger.owner)
+
+        return cand_cost, commit
+
+    _final, stats = anneal_minimize(
+        state.cost(), step, iters=iters, rng=rng,
+        t_start=t_start, t_end=t_end, series=series,
+    )
+    # Ground-truth re-measure of the chain's winner: the three incremental
+    # ledgers must agree with real per-shard replays to the last bit.
+    measured = cosearch_cost(
+        graph, best["owner"], p, s, order=best["order"], alpha=alpha,
+        beta=beta, relax_reductions=relax_reductions,
+    )
+    if measured.cost != best["cost"]:
+        raise ScheduleError(
+            f"co-search ledger drifted: model {best['cost']} != "
+            f"measured {measured.cost}"
+        )
+    chain_params = {
+        "accepted": stats.accepted,
+        "acceptance_rate": stats.acceptance_rate,
+        "illegal": state.illegal,
+        "order_moves": state.order_moves,
+        "owner_moves": state.owner_moves,
+    }
+    return (
+        best["cost"], best["order"], best["owner"], stats.evaluations,
+        chain_params, series,
+    )
+
+
+def _cosearch_task(task):
+    """Module-level (picklable) wrapper: one portfolio chain per worker."""
+    return _cosearch_chain(*task)
+
+
+def cosearch_portfolio(
+    graph: DependencyGraph,
+    p: int,
+    s: int,
+    *,
+    relax_reductions: bool = True,
+    heuristics: tuple[str, ...] = ("locality",),
+    search_strategies: tuple[str, ...] = ("anneal",),
+    search_kwargs: dict | None = None,
+    balance_slack: float = 1.2,
+) -> list[tuple[str, list[int], list[int]]]:
+    """The seed portfolio: {all partitioners} × {orders}, labeled.
+
+    Orders are the recorded order, each named worklist heuristic, and
+    each searched order (:func:`repro.graph.compare.searched_orders` at
+    capacity ``s``); owners come from every one-shot partitioner.  Each
+    ``(label, order, owner)`` triple seeds one co-search chain — and
+    because searched orders and refined-style owners are *in* the
+    portfolio, the joint walk starts no worse than the best decoupled
+    pipeline it is compared against.
+    """
+    orders: list[tuple[str, list[int]]] = [
+        ("recorded", list(range(len(graph))))
+    ]
+    for heuristic in heuristics:
+        orders.append(
+            (
+                heuristic,
+                list_schedule(
+                    graph, heuristic, relax_reductions=relax_reductions
+                ).order,
+            )
+        )
+    for label, found in searched_orders(
+        graph, s, tuple(search_strategies),
+        relax_reductions=relax_reductions, search_kwargs=search_kwargs,
+    ).items():
+        orders.append((label, found.order))
+    seeds = []
+    for partitioner in PARTITIONERS:
+        owner = partition_graph(graph, p, partitioner, balance_slack=balance_slack)
+        for olabel, order in orders:
+            seeds.append((f"{partitioner}|{olabel}", list(order), list(owner)))
+    return seeds
+
+
+def cosearch(
+    graph: DependencyGraph,
+    p: int,
+    s: int,
+    *,
+    iters: int = 600,
+    seed: int = 0,
+    jobs: int = 1,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    relax_reductions: bool = True,
+    seeds: "list[tuple[str, list[int], list[int]]] | None" = None,
+    heuristics: tuple[str, ...] = ("locality",),
+    search_strategies: tuple[str, ...] = ("anneal",),
+    search_kwargs: dict | None = None,
+    keep_writers_together: bool = False,
+    balance_slack: float | None = 1.5,
+    max_segment: int = 12,
+    order_move_prob: float = 0.5,
+    t_start: float = 1.5,
+    t_end: float = 0.05,
+    record_convergence: bool = False,
+) -> CoSearchResult:
+    """Jointly search orders and ownerships from a labeled seed portfolio.
+
+    One Metropolis chain per seed (``seeds`` defaults to
+    :func:`cosearch_portfolio`): chain ``k`` draws its RNG stream from
+    :func:`repro.perf.pool.task_seed` (chain 0 is exactly the caller's
+    ``seed``) and scales ``t_start`` by the deterministic chain ladder.
+    ``jobs > 1`` fans chains over worker processes; the merged result is
+    bit-identical for any ``jobs`` (order-preserving map, min by
+    ``(measured cost, chain index)``).
+
+    Hard postcondition: every seed and the winning pair are measured with
+    real per-shard replays (:func:`cosearch_cost`), and the best measured
+    seed is returned — ``reverted=True`` — whenever no chain beat it.
+    The returned pair is therefore never worse than the best decoupled
+    baseline present in the portfolio (e.g. a searched order with a
+    refined owner, when the caller seeds one in).
+
+    ``relax_reductions`` defaults to True: the order dimension only opens
+    up when commuting ``+=`` chains may re-interleave; results are then
+    equal up to floating-point reassociation (the rewriter's validated
+    explicit streams still enforce peak occupancy separately).
+    """
+    if iters < 0:
+        raise ConfigurationError(f"iters must be >= 0, got {iters}")
+    if graph.trace is None:
+        raise ConfigurationError(
+            "co-search needs the graph's compiled trace; build the "
+            "graph with DependencyGraph.from_trace/from_schedule"
+        )
+    if seeds is None:
+        seeds = cosearch_portfolio(
+            graph, p, s, relax_reductions=relax_reductions,
+            heuristics=heuristics, search_strategies=search_strategies,
+            search_kwargs=search_kwargs,
+        )
+    if not seeds:
+        raise ConfigurationError("co-search needs at least one portfolio seed")
+    probe = get_probe()
+    want_series = record_convergence or probe.enabled
+
+    # Measure every seed: the baselines of the run and the floor of the
+    # never-worse postcondition.
+    seed_measured = [
+        cosearch_cost(
+            graph, owner, p, s, order=order, alpha=alpha, beta=beta,
+            relax_reductions=relax_reductions,
+        )
+        for _label, order, owner in seeds
+    ]
+    best_seed = min(
+        range(len(seeds)), key=lambda k: (seed_measured[k].cost, k)
+    )
+
+    ladder = _CHAIN_TEMP_LADDER
+    tasks = [
+        (
+            graph, label, list(order), list(owner), p, s, iters,
+            task_seed(seed, k), alpha, beta, relax_reductions,
+            keep_writers_together, balance_slack, max_segment,
+            order_move_prob, t_start * ladder[k % len(ladder)], t_end,
+            want_series,
+        )
+        for k, (label, order, owner) in enumerate(seeds)
+    ]
+    n_jobs = min(int(jobs), len(tasks))
+    if n_jobs <= 1:
+        outcomes = [_cosearch_chain(*task) for task in tasks]
+    else:
+        outcomes = parallel_map(_cosearch_task, tasks, jobs=n_jobs)
+
+    winner = min(
+        range(len(outcomes)), key=lambda k: (outcomes[k][0], k)
+    )
+    w_cost, w_order, w_owner, _evals, chain_params, series = outcomes[winner]
+    measured = cosearch_cost(
+        graph, w_owner, p, s, order=w_order, alpha=alpha, beta=beta,
+        relax_reductions=relax_reductions,
+    )
+    # The hard postcondition: the measured objective decides, and the best
+    # measured seed wins any tie-or-worse outcome.
+    reverted = measured.cost > seed_measured[best_seed].cost
+    if reverted:
+        winner = best_seed
+        _slabel, w_order, w_owner = seeds[best_seed]
+        w_order, w_owner = list(w_order), list(w_owner)
+        measured = seed_measured[best_seed]
+        w_cost = measured.cost
+        series = outcomes[best_seed][5]
+        chain_params = outcomes[best_seed][4]
+
+    evaluations = sum(o[3] for o in outcomes)
+    params = {
+        "iters": iters, "seed": seed, "jobs": jobs, "chains": len(seeds),
+        "alpha": alpha, "beta": beta,
+        "relax_reductions": relax_reductions,
+        "order_move_prob": order_move_prob, "max_segment": max_segment,
+        "balance_slack": balance_slack,
+        "keep_writers_together": keep_writers_together,
+    }
+    params.update(chain_params)
+    if probe.enabled:
+        probe.count("cosearch.runs")
+        probe.count("cosearch.evaluations", evaluations)
+        probe.count(
+            "cosearch.order_moves",
+            sum(o[4]["order_moves"] for o in outcomes),
+        )
+        probe.count(
+            "cosearch.owner_moves",
+            sum(o[4]["owner_moves"] for o in outcomes),
+        )
+        if reverted:
+            probe.count("cosearch.reverted")
+        if series is not None:
+            probe.attach("convergence.cosearch", series)
+    return CoSearchResult(
+        graph=graph,
+        p=p,
+        s=s,
+        order=list(w_order),
+        owner=tuple(int(q) for q in w_owner),
+        cost=measured.cost,
+        seed_cost=seed_measured[best_seed].cost,
+        measured=measured,
+        seed_label=seeds[winner][0],
+        seed_costs={
+            label: seed_measured[k].cost
+            for k, (label, _o, _w) in enumerate(seeds)
+        },
+        winner_chain=winner,
+        chain_costs=[o[0] for o in outcomes],
+        evaluations=evaluations,
+        reverted=reverted,
+        params=params,
+        convergence=series,
+    )

@@ -630,7 +630,7 @@ def execute_graph(
         policy=policy,
         partitioner=partitioner,
         n_ops=len(graph),
-        critical_path=graph.critical_path_length(),
+        critical_path=int(graph.critical_path_cost()),
         cut_edge_count=len(cut),
         owner=tuple(owner),
         shards=tuple(reports),

@@ -20,7 +20,16 @@ its transfers along the critical path.  This module scores any
 
 ``finish(v)`` is then ``max(node available, max over preds of
 finish(u) + edge latency) + weights[v]`` and the makespan is the largest
-finish time.  The per-op ``start``/``finish``/``node`` arrays are part of
+finish time.  :func:`makespan_model` computes the whole timeline from
+cold — fine for scoring a finished run, hopeless inside a search loop
+that re-scores thousands of candidate ``(order, owner)`` pairs.
+:class:`MakespanLedger` is the delta-evaluating form the joint co-search
+(:mod:`repro.parallel.cosearch`) drives: edge latencies are precomputed
+once, the forward pass is checkpointed every ``interval`` positions, and
+a candidate differing from the committed state only from position ``i``
+on re-runs the pass from the nearest checkpoint at or before ``i`` —
+bit-identical to the cold model by construction (same float operations
+in the same association order; pinned by a randomized regression test).  The per-op ``start``/``finish``/``node`` arrays are part of
 the result (not just their max): they are the full simulated timeline,
 exportable as a Perfetto-openable Chrome trace via
 :func:`repro.obs.timeline.export_timeline`.  Two classical floors come for free and are reported next to
@@ -172,3 +181,176 @@ def makespan_model(
         finish=tuple(finish),
         node=tuple(int(q) for q in owner),
     )
+
+
+class MakespanLedger:
+    """Checkpointed delta evaluation of :func:`makespan_model`.
+
+    The search-loop form of the latency model: hold one committed
+    ``(order, owner)`` pair plus its full forward pass, score a candidate
+    that differs only from position ``from_pos`` onward by re-running the
+    pass from the nearest checkpoint, and :meth:`commit` the candidate in
+    the accepted case.  Per-edge latencies (``alpha + beta * flow``) are
+    computed once at construction, so a proposal costs time proportional
+    to the re-scored suffix, not to the edge set.
+
+    Bit-identity contract: :meth:`score` performs exactly the float
+    operations of :func:`makespan_model` in the same association order
+    (each edge's latency is one precomputed double, ``arrival = finish[u]
+    + latency``), so a ledger walk and a cold model recompute of the same
+    pair agree to the last bit — the co-search relies on this to
+    cross-check its winner against the measured model.
+
+    Caller contract for :meth:`score`: the candidate pair must agree with
+    the committed state on every position below ``from_pos`` — both the
+    op placed there and that op's owner.  (Both move kinds of the
+    co-search satisfy this by construction: an order move changes a
+    window ``[i, j)`` and passes ``from_pos=i``; an ownership move passes
+    the smallest committed position of a moved op.)  The candidate order
+    must be a legal order of the graph; legality is the caller's
+    responsibility — this class never re-validates inside the hot loop.
+    """
+
+    def __init__(
+        self,
+        graph: DependencyGraph,
+        owner: Sequence[int],
+        *,
+        p: int | None = None,
+        order: Sequence[int] | None = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        weights: Sequence[float] | None = None,
+        relax_reductions: bool = False,
+        interval: int | None = None,
+    ):
+        n = len(graph)
+        if len(owner) != n:
+            raise ConfigurationError(f"owner has {len(owner)} entries for {n} ops")
+        top = (max(owner) + 1) if n else 1
+        if p is None:
+            p = top
+        elif p < top:
+            raise ConfigurationError(f"owner references node {top - 1} but p = {p}")
+        if n and min(owner) < 0:
+            raise ConfigurationError("owner indices must be >= 0")
+        if alpha < 0 or beta < 0:
+            raise ConfigurationError("alpha and beta must be >= 0")
+        if weights is None:
+            weights = [float(node.op.mults) for node in graph.nodes]
+        elif len(weights) != n:
+            raise ConfigurationError(f"weights has {len(weights)} entries for {n} ops")
+        if order is None:
+            order = list(range(n))
+        elif not graph.is_valid_order(list(order), relax_reductions=relax_reductions):
+            raise ScheduleError("makespan order is not a legal order of the graph")
+        if interval is not None and interval < 1:
+            raise ConfigurationError(f"interval must be >= 1, got {interval}")
+
+        self.graph = graph
+        self.p = p
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.relax_reductions = relax_reductions
+        self.weights = [float(w) for w in weights]
+        self.interval = int(interval) if interval is not None else max(8, n // 64)
+        # One precomputed double per effective edge: the cross-node latency
+        # it would charge.  Same-node edges read finish[u] directly.
+        self._preds: list[tuple[tuple[int, float], ...]] = [
+            tuple(
+                (
+                    u,
+                    self.alpha
+                    + self.beta
+                    * len(graph.edge_flow(u, v, frozenset(graph.preds[v][u]))),
+                )
+                for u in graph.effective_preds(v, relax_reductions=relax_reductions)
+            )
+            for v in range(n)
+        ]
+        self.order = [int(v) for v in order]
+        self.owner = [int(q) for q in owner]
+        self.pos = [0] * n
+        for i, v in enumerate(self.order):
+            self.pos[v] = i
+        self.finish = [0.0] * n
+        self.makespan = 0.0
+        self._snaps: list[tuple[tuple[float, ...], float]] = [
+            (tuple([0.0] * p), 0.0)
+        ]
+        self._pending: tuple | None = None
+        self.score()
+        self.commit()
+
+    def score(
+        self,
+        order: "Sequence[int] | None" = None,
+        owner: "Sequence[int] | None" = None,
+        from_pos: int = 0,
+    ) -> float:
+        """Makespan of a candidate pair (``None`` = the committed value).
+
+        Re-runs the forward pass from the checkpoint at or before
+        ``from_pos`` and stashes the result; :meth:`commit` adopts it,
+        a subsequent :meth:`score` discards it.
+        """
+        n = len(self.graph)
+        cand_order = self.order if order is None else order
+        cand_owner = self.owner if owner is None else owner
+        j0 = min(from_pos // self.interval, len(self._snaps) - 1)
+        start = j0 * self.interval
+        avail_t, ms = self._snaps[j0]
+        avail = list(avail_t)
+        finish = self.finish
+        preds = self._preds
+        weights = self.weights
+        interval = self.interval
+        new_finish: dict[int, float] = {}
+        new_snaps: list[tuple[tuple[float, ...], float]] = []
+        for idx in range(start, n):
+            if idx % interval == 0:
+                new_snaps.append((tuple(avail), ms))
+            v = cand_order[idx]
+            q = cand_owner[v]
+            t = avail[q]
+            for u, lat in preds[v]:
+                fu = new_finish.get(u)
+                if fu is None:
+                    fu = finish[u]
+                arrival = fu if cand_owner[u] == q else fu + lat
+                if arrival > t:
+                    t = arrival
+            f = t + weights[v]
+            new_finish[v] = f
+            avail[q] = f
+            if f > ms:
+                ms = f
+        self._pending = (
+            j0,
+            start,
+            None if order is None else [int(v) for v in order],
+            None if owner is None else [int(q) for q in owner],
+            new_finish,
+            new_snaps,
+            ms,
+        )
+        return ms
+
+    def commit(self) -> float:
+        """Adopt the last scored candidate as the committed state."""
+        if self._pending is None:
+            return self.makespan
+        j0, start, order, owner, new_finish, new_snaps, ms = self._pending
+        if order is not None:
+            self.order = order
+            for idx in range(start, len(order)):
+                self.pos[order[idx]] = idx
+        if owner is not None:
+            self.owner = owner
+        for v, f in new_finish.items():
+            self.finish[v] = f
+        if new_snaps:  # empty only for an empty graph: keep the cold snap
+            self._snaps[j0:] = new_snaps
+        self.makespan = ms
+        self._pending = None
+        return ms

@@ -150,6 +150,29 @@ def write_groups(graph: DependencyGraph) -> list[list[int]]:
     return sorted(sets.groups().values(), key=lambda g: g[0])
 
 
+def movable_units(
+    graph: DependencyGraph, *, keep_writers_together: bool = False
+) -> tuple[list[list[int]], list[list[int]]]:
+    """The ownership-move granularity shared by the refiner and co-search.
+
+    Returns ``(units, op_units)``: the movable op groups and, per op, the
+    indices of the units containing it.  Write-groups when the exclusive-
+    writer invariant must survive; otherwise single ops plus whole
+    reduction classes (the group moves that relocate a ``+=`` chain
+    without ever splitting it).
+    """
+    if keep_writers_together:
+        units = write_groups(graph)
+    else:
+        units = [[v] for v in range(len(graph))]
+        units.extend(graph.reduction_classes())
+    op_units: list[list[int]] = [[] for _ in range(len(graph))]
+    for ui, group in enumerate(units):
+        for v in group:
+            op_units[v].append(ui)
+    return units, op_units
+
+
 class PartitionLedger:
     """Incremental ``max_q(footprint_q + transfer_in_q)`` under op moves.
 
@@ -437,18 +460,9 @@ def refine_partition(
         "keep_writers_together": keep_writers_together,
     }
 
-    # Movable units: write-groups when the exclusive-writer invariant must
-    # survive; otherwise single ops plus whole reduction classes (the group
-    # moves that relocate a ``+=`` chain without ever splitting it).
-    if keep_writers_together:
-        units = write_groups(graph)
-    else:
-        units = [[v] for v in range(len(graph))]
-        units.extend(graph.reduction_classes())
-    op_units: list[list[int]] = [[] for _ in range(len(graph))]
-    for ui, group in enumerate(units):
-        for v in group:
-            op_units[v].append(ui)
+    units, op_units = movable_units(
+        graph, keep_writers_together=keep_writers_together
+    )
 
     cap = None
     if balance_slack is not None:

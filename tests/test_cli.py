@@ -110,6 +110,29 @@ class TestCli:
         # to print unit-less next to mult counts)
         assert "ops" in out and "mults weighted" in out
 
+    def test_cosearch(self, capsys):
+        assert main(
+            ["cosearch", "--kernel", "tbs", "--n", "20", "--m", "3", "--s", "15",
+             "--p", "2", "--iters", "60", "--search-iters", "25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "joint order x partition co-search" in out
+        assert "best seed" in out and "co-search" in out
+        assert "unified objective" in out
+
+    def test_cosearch_report_and_timeline(self, capsys, tmp_path):
+        report = tmp_path / "cosearch.json"
+        timeline = tmp_path / "timeline.json"
+        assert main(
+            ["cosearch", "--kernel", "tbs", "--n", "20", "--m", "3", "--s", "15",
+             "--p", "2", "--iters", "60", "--search-iters", "25",
+             "--report", str(report), "--timeline", str(timeline)]
+        ) == 0
+        assert report.exists() and timeline.exists()
+        assert main(["report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "cosearch.runs" in out and "convergence.cosearch" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

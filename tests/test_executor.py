@@ -175,7 +175,7 @@ class TestExecutorSharded:
                              policy="lru", graph=tbs_graph, alpha=2.0, beta=0.5)
         mults = [float(n.op.mults) for n in tbs_graph.nodes]
         # units: critical_path counts ops, critical_path_mults counts work
-        assert summ.critical_path == tbs_graph.critical_path_length()
+        assert summ.critical_path == int(tbs_graph.critical_path_cost())
         assert summ.critical_path_mults == int(tbs_graph.critical_path_cost(mults))
         assert (summ.alpha, summ.beta) == (2.0, 0.5)
         assert summ.makespan >= max(summ.critical_path_mults,

@@ -59,14 +59,14 @@ class TestDependencyGraph:
         assert counts["raw"] == counts["war"] == counts["waw"] == 0
         assert counts["reduction"] > 0
         # each chain has one op per streamed column
-        assert tbs_graph.critical_path_length() <= MC + 1
+        assert tbs_graph.critical_path_cost() <= MC + 1
 
     def test_chol_has_true_dependences(self, chol_graph):
         # Cholesky's factor/solve/downdate pipeline is a deep DAG.
         counts = chol_graph.edge_counts()
         assert counts["raw"] > 0
         assert counts["waw"] > 0
-        assert chol_graph.critical_path_length() > 10
+        assert chol_graph.critical_path_cost() > 10
 
     def test_edges_point_forward(self, tbs_graph, chol_graph):
         for g in (tbs_graph, chol_graph):
@@ -100,7 +100,7 @@ class TestDependencyGraph:
         depths = chol_graph.depths()
         for u, v, _k in chol_graph.edges():
             assert depths[v] >= depths[u] + 1
-        assert chol_graph.critical_path_length() == max(depths) + 1
+        assert chol_graph.critical_path_cost() == max(depths) + 1
 
     def test_rejects_non_schedule(self):
         with pytest.raises(ConfigurationError):

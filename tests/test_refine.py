@@ -230,7 +230,7 @@ class TestMakespanModel:
             tbs_graph, owner, order=order, weights=[1.0] * len(tbs_graph)
         )
         assert ms.makespan == len(tbs_graph)
-        assert ms.critical_path == tbs_graph.critical_path_length()
+        assert ms.critical_path == int(tbs_graph.critical_path_cost())
 
     def test_bad_args(self, tbs_graph):
         n = len(tbs_graph)
@@ -254,9 +254,12 @@ class TestMakespanModel:
 
 class TestCriticalPathCost:
     def test_unit_weights_match_length(self, tbs_graph):
-        assert tbs_graph.critical_path_cost(
-            [1] * len(tbs_graph)
-        ) == tbs_graph.critical_path_length()
+        # No-argument form == explicit unit weights == the deprecated
+        # node-count span (which must still answer, with a warning).
+        unit = tbs_graph.critical_path_cost()
+        assert tbs_graph.critical_path_cost([1] * len(tbs_graph)) == unit
+        with pytest.warns(DeprecationWarning):
+            assert tbs_graph.critical_path_length() == unit
 
     def test_weighted_span_in_summary(self, tbs_case, tbs_graph):
         summ = execute_graph(
@@ -264,7 +267,7 @@ class TestCriticalPathCost:
             policy="lru", graph=tbs_graph,
         )
         mults = [float(n.op.mults) for n in tbs_graph.nodes]
-        assert summ.critical_path == tbs_graph.critical_path_length()
+        assert summ.critical_path == int(tbs_graph.critical_path_cost())
         assert summ.critical_path_mults == int(tbs_graph.critical_path_cost(mults))
         assert summ.makespan >= summ.critical_path_mults
 
