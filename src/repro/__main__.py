@@ -30,6 +30,16 @@ Commands
               {partitioner} × {order} seeds, one unified latency
               objective (makespan + β·bottleneck I/O), never worse than
               the best measured seed
+``serve``     the schedule-serving layer (:mod:`repro.serve`): ``serve
+              warm`` batch-searches a key grid into a content-addressed
+              on-disk store (atomic ``.npz`` objects, ``--jobs`` fans
+              the searches over worker processes), ``serve query`` runs
+              a zipf-ish synthetic request stream through the asyncio
+              front end (in-process LRU over the store, duplicate
+              in-flight keys coalesced to one search) and prints the
+              hit/miss/coalesce counters plus warm-vs-cold latencies,
+              ``serve stats`` prints (or ``--json``-exports, provenance-
+              stamped) the reconciled store statistics
 ``report``    pretty-print a saved run report (provenance, phase
               wall-times, engine counters, convergence curves)
 
@@ -67,6 +77,10 @@ Examples
     python -m repro parallel --kernel tbs --n 120 --m 6 --s 15 --p 4 --refine anneal \\
         --report run.json --timeline run_trace.json
     python -m repro cosearch --kernel tbs --n 60 --m 6 --s 15 --p 4 --iters 400
+    python -m repro serve warm --store sched_store --kernel tbs --ns 40 60 --s 15
+    python -m repro serve query --store sched_store --kernel tbs --ns 40 60 --s 15 \\
+        --requests 64 --cache-size 4
+    python -m repro serve stats --store sched_store --json serve_stats.json
     python -m repro report run.json
 """
 
@@ -589,6 +603,119 @@ def _cmd_cosearch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_keys(args: argparse.Namespace) -> list:
+    from .serve import ScheduleKey
+
+    return [
+        ScheduleKey(
+            args.kernel, n, args.m, args.s, p=args.p, policy=args.policy,
+            alpha=args.alpha, beta=args.beta,
+        )
+        for n in args.ns
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import time
+
+    from .serve import ScheduleCache, ScheduleService, ScheduleStore, warm_store
+
+    store = ScheduleStore(args.store)
+
+    if args.serve_command == "warm":
+        keys = _serve_keys(args)
+        print(banner(f"serve warm: {len(keys)} keys -> {args.store}"))
+        with timed("serve.warm") as tm:
+            searched = warm_store(store, keys, jobs=args.jobs, force=args.force)
+        t = Table(["key", "digest", "action"])
+        for key in keys:
+            t.add_row(
+                [key.canonical(), key.digest()[:12],
+                 "searched" if key in searched else "already stored"]
+            )
+        print(t.render())
+        print(f"{len(searched)} searched, {len(keys) - len(searched)} already "
+              f"present ({tm.elapsed:.2f}s, --jobs {args.jobs})")
+        return 0
+
+    if args.serve_command == "stats":
+        stats = store.stats()
+        print(banner(f"serve stats: {args.store}"))
+        t = Table(["entries", "bytes", "per kernel", "per policy"])
+        t.add_row(
+            [stats["entries"], format_int(stats["bytes"]),
+             json.dumps(stats["per_kernel"]), json.dumps(stats["per_policy"])]
+        )
+        print(t.render())
+        if args.json:
+            from .obs.provenance import provenance_stamp
+
+            payload = {
+                "experiment": "serve_stats",
+                "provenance": provenance_stamp(),
+                "rows": [stats],
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"stats written to {args.json}")
+        return 0
+
+    # query: a zipf-ish synthetic request stream through the front end
+    import random
+
+    keys = _serve_keys(args)
+    rng = random.Random(args.seed)
+    weights = [1.0 / (rank + 1) ** args.zipf for rank in range(len(keys))]
+    stream = rng.choices(keys, weights=weights, k=args.requests)
+    cache = ScheduleCache(args.cache_size)
+    print(banner(
+        f"serve query: {args.requests} requests over {len(keys)} keys "
+        f"(zipf a={args.zipf}, cache {args.cache_size}, batch {args.batch})"
+    ))
+
+    async def run_stream(service):
+        latencies = []
+
+        async def one(key):
+            t0 = time.perf_counter()
+            await service.get_schedule(key)
+            latencies.append(time.perf_counter() - t0)
+
+        # Waves of --batch concurrent requests: duplicates inside a wave
+        # are what the single-flight path coalesces.
+        for i in range(0, len(stream), args.batch):
+            await asyncio.gather(*map(one, stream[i:i + args.batch]))
+        return latencies
+
+    with probe_scope() as probe:
+        service = ScheduleService(store, cache, workers=args.workers)
+        try:
+            latencies = asyncio.run(run_stream(service))
+        finally:
+            service.close()
+    snap = service.stats_snapshot()
+    t = Table(["requests", "mem hits", "store hits", "searches", "coalesced",
+               "evictions", "hit rate"])
+    t.add_row(
+        [snap["requests"], snap["hits"], snap["store_hits"], snap["searches"],
+         snap["coalesced"], snap["cache_evictions"],
+         f"{cache.hit_rate:.3f}"]
+    )
+    print(t.render())
+    search_t = probe.timers.get("serve.search")
+    warm = sorted(latencies)[len(latencies) // 2]
+    print(f"p50 request latency {warm * 1e6:.0f} us over the stream")
+    if search_t and search_t["calls"]:
+        cold = search_t["total"] / search_t["calls"]
+        print(f"mean cold search {cold * 1e3:.1f} ms x {int(search_t['calls'])}; "
+              f"a memory hit is ~{cold / max(warm, 1e-9):,.0f}x faster at p50")
+    print("\n'coalesced' counts requests that attached to an in-flight search for")
+    print("the same key (single flight: N concurrent duplicates -> 1 search).")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.report import load_report, render_report
 
@@ -752,6 +879,45 @@ def main(argv: list[str] | None = None) -> int:
                        help="export the winning schedule of the lowest-"
                             "makespan P as a Chrome trace-event JSON")
 
+    p_srv = sub.add_parser("serve", help="schedule-serving layer: warm/query/stats")
+    ssub = p_srv.add_subparsers(dest="serve_command", required=True)
+
+    def serve_key_args(sp):
+        sp.add_argument("--store", required=True, help="store root directory")
+        sp.add_argument("--kernel", choices=sorted(CASES), default="tbs")
+        sp.add_argument("--ns", type=int, nargs="+", default=[40],
+                        help="one key per N (the rest of the tuple is shared)")
+        sp.add_argument("--m", type=int, default=6)
+        sp.add_argument("--s", type=int, default=15)
+        sp.add_argument("--p", type=int, default=1)
+        sp.add_argument("--policy", choices=["heuristic", "search", "cosearch"],
+                        default="heuristic", help="searcher pipeline (part of the key)")
+        sp.add_argument("--alpha", type=float, default=1.0)
+        sp.add_argument("--beta", type=float, default=1.0)
+
+    p_sw = ssub.add_parser("warm", help="batch-search a key grid into the store")
+    serve_key_args(p_sw)
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="worker processes fanning the searches")
+    p_sw.add_argument("--force", action="store_true",
+                      help="re-search keys already present")
+    p_sq = ssub.add_parser("query", help="run a synthetic request stream")
+    serve_key_args(p_sq)
+    p_sq.add_argument("--requests", type=int, default=64)
+    p_sq.add_argument("--cache-size", type=int, default=4,
+                      help="in-process LRU capacity (schedules)")
+    p_sq.add_argument("--zipf", type=float, default=1.1,
+                      help="zipf exponent of the key popularity ranking")
+    p_sq.add_argument("--batch", type=int, default=16,
+                      help="concurrent requests per wave (coalescing window)")
+    p_sq.add_argument("--seed", type=int, default=0)
+    p_sq.add_argument("--workers", type=int, default=0,
+                      help="search-worker processes (0: search on a thread)")
+    p_ss = ssub.add_parser("stats", help="reconciled store statistics")
+    p_ss.add_argument("--store", required=True, help="store root directory")
+    p_ss.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the stats as a provenance-stamped JSON")
+
     p_rep = sub.add_parser("report", help="pretty-print a saved run report")
     p_rep.add_argument("path", help="a --report JSON written by search/parallel")
 
@@ -767,6 +933,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "parallel": _cmd_parallel,
         "cosearch": _cmd_cosearch,
+        "serve": _cmd_serve,
         "report": _cmd_report,
     }[args.command]
     report_path = getattr(args, "report", None)

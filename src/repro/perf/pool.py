@@ -24,7 +24,7 @@ Design rules, shared by all consumers:
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ConfigurationError
@@ -82,6 +82,25 @@ class SearchPool:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        """Submit one task; returns its :class:`concurrent.futures.Future`.
+
+        Unlike :meth:`map`, ``submit`` always goes through the process
+        executor (created lazily with ``max(1, jobs)`` workers) — it exists
+        for callers that need a real future to bridge into another
+        scheduler (the serve front end wraps it with
+        ``asyncio.wrap_future``), so running inline would defeat the point.
+        ``fn`` and ``args`` must be picklable.
+        """
+        probe = get_probe()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=max(1, self.jobs))
+            if probe.enabled:
+                probe.count("pool.workers", max(1, self.jobs))
+        if probe.enabled:
+            probe.count("pool.tasks", 1)
+        return self._executor.submit(fn, *args)
 
     def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every task; results in task order, always."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import IO, Any
 
 import numpy as np
@@ -68,7 +69,25 @@ _OP_BY_NAME = {cls.name: cls for cls in _OP_SPECS}
 
 
 def _write_npz(path: str | os.PathLike | IO[bytes], header: dict, arrays: dict) -> None:
-    np.savez_compressed(path, header=np.asarray(json.dumps(header)), **arrays)
+    payload = dict(header=np.asarray(json.dumps(header)), **arrays)
+    if not isinstance(path, (str, os.PathLike)):
+        np.savez_compressed(path, **payload)
+        return
+    # Atomic for real paths: write a sibling temp file, then os.replace —
+    # an interrupted save can never leave a torn container at the
+    # destination (the serve store's whole consistency story rests on it).
+    # numpy appends ".npz" to extension-less names; normalize the
+    # destination the same way so the rename lands where savez would have.
+    dest = os.fspath(path)
+    if not dest.endswith(".npz"):
+        dest += ".npz"
+    tmp = f"{dest}.{os.getpid()}.{threading.get_ident()}.tmp.npz"
+    try:
+        np.savez_compressed(tmp, **payload)
+        os.replace(tmp, dest)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def _read_npz(

@@ -356,6 +356,34 @@ class TestTraceIO:
         with pytest.raises(ConfigurationError):
             load_trace(path)
 
+    def test_save_is_atomic_under_interrupt(self, sched, tmp_path, monkeypatch):
+        """A save killed mid-write never tears the destination container."""
+        import repro.trace.io as tio
+
+        path = tmp_path / "s.npz"
+        save_schedule(sched, path)
+        before = path.read_bytes()
+
+        def torn_write(file, **payload):
+            with open(file, "wb") as fh:
+                fh.write(b"PK\x03\x04 half a container")
+            raise KeyboardInterrupt  # the canonical mid-write kill
+
+        monkeypatch.setattr(tio.np, "savez_compressed", torn_write)
+        with pytest.raises(KeyboardInterrupt):
+            save_schedule(sched, path)
+        monkeypatch.undo()
+        # old entry intact, no temp-file litter next to it
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["s.npz"]
+        assert load_schedule(path).counts() == sched.counts()
+
+    def test_save_extensionless_path_lands_like_numpy(self, sched, tmp_path):
+        """numpy appends .npz to bare names; the atomic path must match."""
+        save_schedule(sched, tmp_path / "bare")
+        assert (tmp_path / "bare.npz").exists()
+        assert load_schedule(tmp_path / "bare.npz").counts() == sched.counts()
+
 
 class TestGraphOverTrace:
     def test_graph_carries_trace_and_int_keys(self, sched):

@@ -25,9 +25,16 @@ from repro.analysis.lru_replay import lru_replay_reference
 from repro.baselines.ooc_syrk import ooc_syrk
 from repro.core.tbs import tbs_syrk
 from repro.graph.policies import belady_replay_reference
-from repro.sched.schedule import access_sequence_reference, record_schedule
+from repro.sched.schedule import (
+    ComputeStep,
+    Schedule,
+    access_sequence,
+    access_sequence_reference,
+    record_schedule,
+    replay_schedule,
+)
 from repro.trace.compiled import CompiledTrace, compile_trace
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import load_schedule, load_trace, save_schedule, save_trace
 from repro.trace.replay import belady_replay_trace, lru_replay_trace
 
 try:
@@ -134,6 +141,70 @@ def test_recorded_streams_random_shapes():
         assert trace.to_access_sequence() == access_sequence_reference(sched)
         for capacity in (1, s, 4 * s):
             assert_replays_match(trace, capacity)
+
+
+def assert_schedule_roundtrip(sched, path):
+    """Save/load ``sched``; the container must preserve the access stream."""
+    save_schedule(sched, path)
+    loaded = load_schedule(path)
+    assert loaded.shapes == sched.shapes
+    assert loaded.counts() == sched.counts()
+    assert loaded.io_volume() == sched.io_volume()
+    assert access_sequence(loaded) == access_sequence(sched)
+    return loaded
+
+
+def test_zero_op_schedule_roundtrip(tmp_path):
+    empty = Schedule(steps=[], shapes={"A": (2, 3)})
+    loaded = assert_schedule_roundtrip(empty, tmp_path / "empty.npz")
+    assert loaded.steps == []
+
+
+def test_single_op_schedule_roundtrip(tmp_path):
+    m = TwoLevelMachine(8, strict=False, numerics=False)
+    m.add_matrix("A", np.zeros((6, 2)))
+    m.add_matrix("C", np.zeros((6, 6)))
+    full = record_schedule(m, lambda: tbs_syrk(m, "A", "C", range(6), range(2)))
+    compute = next(s for s in full.steps if isinstance(s, ComputeStep))
+    single = Schedule(steps=[compute], shapes=dict(full.shapes))
+    loaded = assert_schedule_roundtrip(single, tmp_path / "one.npz")
+    assert loaded.counts() == {"load": 0, "evict": 0, "compute": 1}
+
+
+def test_relaxed_reduction_schedule_roundtrip(tmp_path):
+    from repro.graph.compare import record_case
+    from repro.graph.dependency import DependencyGraph
+    from repro.graph.rewriter import rewrite_schedule
+    from repro.graph.search import search_order
+
+    case = record_case("tbs", 10, 2, 8)
+    graph = DependencyGraph.from_trace(case.trace)
+    found = search_order(
+        graph, 8, "anneal", iters=40, seed=1, relax_reductions=True
+    )
+    relaxed = rewrite_schedule(
+        case.trace, 8, found.order, graph=graph, relax_reductions=True
+    ).schedule
+    loaded = assert_schedule_roundtrip(relaxed, tmp_path / "relaxed.npz")
+    # The relaxed order reassociates FP sums, so it need not match the
+    # recorded reference — but the *loaded* copy must replay to results
+    # bit-identical to the in-memory schedule it round-tripped from.
+    results = []
+    for sched in (relaxed, loaded):
+        m = case.make_machine()
+        replay_schedule(sched, m)
+        m.assert_empty()
+        results.append(m.result("C"))
+    assert np.array_equal(results[0], results[1])
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    trace = build_trace([], [], [0])
+    save_trace(trace, tmp_path / "empty.npz")
+    loaded = load_trace(tmp_path / "empty.npz")
+    assert loaded.n_accesses == 0
+    assert lru_replay_trace(loaded, 3).loads == 0
+    assert belady_replay_trace(loaded, 3).loads == 0
 
 
 def test_npz_roundtrip_preserves_replays(tmp_path):
