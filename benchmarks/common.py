@@ -16,10 +16,10 @@ comparable after the fact; ``benchmarks/check_provenance.py`` (run in CI)
 fails any artifact that lacks it.
 """
 
-import json
 import os
 
 from repro.obs.provenance import provenance_stamp
+from repro.utils.atomic import atomic_write_json
 
 
 def bench_json_path(env_var, default_name):
@@ -38,6 +38,5 @@ def write_bench_json(experiment, rows, *, env_var, default_name):
         "provenance": provenance_stamp(),
         "rows": rows,
     }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
+    atomic_write_json(path, payload, indent=2)
     return path

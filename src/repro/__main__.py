@@ -42,6 +42,12 @@ Commands
               stamped) the reconciled store statistics
 ``report``    pretty-print a saved run report (provenance, phase
               wall-times, engine counters, convergence curves)
+``check``     static analysis (:mod:`repro.check`): certify a saved or
+              freshly recorded schedule (peak <= S, stream legality)
+              without replaying it, race-check a partitioned DAG
+              (vector-clock happens-before), audit a serve store
+              (``--store ... --all``), or lint the repository's own
+              sources against its invariants (``--lint src``)
 
 ``search --chains K --jobs N`` anneals K independent chains (a temperature
 portfolio merged by best cost) across N worker processes, ``parallel
@@ -82,6 +88,9 @@ Examples
         --requests 64 --cache-size 4
     python -m repro serve stats --store sched_store --json serve_stats.json
     python -m repro report run.json
+    python -m repro check --kernel tbs --n 40 --m 6 --s 15 --p 4
+    python -m repro check --store sched_store --all
+    python -m repro check --lint src
 """
 
 from __future__ import annotations
@@ -618,7 +627,6 @@ def _serve_keys(args: argparse.Namespace) -> list:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
-    import time
 
     from .serve import ScheduleCache, ScheduleService, ScheduleStore, warm_store
 
@@ -657,8 +665,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "provenance": provenance_stamp(),
                 "rows": [stats],
             }
-            with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
+            from .utils.atomic import atomic_write_json
+
+            atomic_write_json(args.json, payload, indent=2)
             print(f"stats written to {args.json}")
         return 0
 
@@ -679,9 +688,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         latencies = []
 
         async def one(key):
-            t0 = time.perf_counter()
-            await service.get_schedule(key)
-            latencies.append(time.perf_counter() - t0)
+            with timed("serve.request") as tm:
+                await service.get_schedule(key)
+            latencies.append(tm.elapsed)
 
         # Waves of --batch concurrent requests: duplicates inside a wave
         # are what the single-flight path coalesces.
@@ -721,6 +730,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print(render_report(load_report(args.path)))
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check.cli import cmd_check
+
+    return cmd_check(args)
 
 
 def _cmd_constants(_args: argparse.Namespace) -> int:
@@ -921,6 +936,10 @@ def main(argv: list[str] | None = None) -> int:
     p_rep = sub.add_parser("report", help="pretty-print a saved run report")
     p_rep.add_argument("path", help="a --report JSON written by search/parallel")
 
+    from .check.cli import add_check_parser
+
+    add_check_parser(sub)
+
     args = parser.parse_args(argv)
     handler = {
         "demo": _cmd_demo,
@@ -935,6 +954,7 @@ def main(argv: list[str] | None = None) -> int:
         "cosearch": _cmd_cosearch,
         "serve": _cmd_serve,
         "report": _cmd_report,
+        "check": _cmd_check,
     }[args.command]
     report_path = getattr(args, "report", None)
     if not report_path:

@@ -1,0 +1,281 @@
+"""Static memory certifier for recorded schedules.
+
+:func:`certify_schedule` proves (or refutes) the two-level model's memory
+invariants from the load/evict stream alone — no machine, no replay, not
+even the per-step bitmap walk of :func:`repro.sched.validate.validate_schedule`.
+The whole schedule is flattened into one event table (element id, event
+code, step position), sorted once by element, and every rule becomes a
+vectorized predicate over *adjacent events of the same element*:
+
+* ``LOAD`` after a resident event        -> RPS102 (double load)
+* ``USE``/``WRITE`` after a non-resident -> RPS101 (use before load)
+* ``EVICT`` after a non-resident         -> RPS103 (evict without load)
+* ``EVICT`` directly after ``LOAD``      -> RPS201 (dead evict, warning)
+* writeback with no write since load     -> RPS202 (store of clean, warning)
+
+Peak residency is then *exact* arithmetic: +1 at every fresh load, -1 at
+every resident evict, cumulated in step order — the first position whose
+running occupancy exceeds ``capacity`` is RPS104, and a non-empty final
+residency set is RPS105.  On schedules free of RPS101–RPS103 errors the
+stream semantics and the replay semantics coincide, so the certificate's
+verdict and counters agree with ``validate_schedule`` (pinned by
+``tests/test_check.py``) at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.regions import Region
+from ..obs.probe import get_probe, timed
+from ..sched.schedule import ComputeStep, EvictStep, LoadStep, Schedule
+from .findings import ERROR, Finding, sort_findings
+
+# Event codes.  Resident-making/keeping events are <= WRITE; the sentinel
+# marks "no previous event" (element starts non-resident).
+_LOAD, _USE, _WRITE, _EVICT, _EVICT_WB, _ABSENT = 0, 1, 2, 3, 4, 5
+
+
+@dataclass
+class Certificate:
+    """The result of one static certification pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no error-severity finding was produced."""
+        return not any(f.severity == ERROR for f in self.findings)
+
+
+def certify_schedule(
+    schedule: Schedule,
+    capacity: int,
+    *,
+    allow_redundant_loads: bool = False,
+    require_empty_end: bool = True,
+) -> Certificate:
+    """Statically certify ``schedule`` against capacity ``capacity``.
+
+    Returns a :class:`Certificate` whose ``findings`` list every violation
+    (it does not stop at the first, unlike ``validate_schedule``) and whose
+    ``stats`` carry the same ``loads``/``stores``/``peak_occupancy``
+    counters the dynamic validator returns.
+    """
+    with timed("check.certify"):
+        cert = _certify(
+            schedule,
+            capacity,
+            allow_redundant_loads=allow_redundant_loads,
+            require_empty_end=require_empty_end,
+        )
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("check.certify.runs")
+        probe.count("check.certify.steps", cert.stats.get("n_steps", 0))
+        probe.count("check.certify.findings", len(cert.findings))
+    return cert
+
+
+def _certify(
+    schedule: Schedule,
+    capacity: int,
+    *,
+    allow_redundant_loads: bool,
+    require_empty_end: bool,
+) -> Certificate:
+    shapes = schedule.shapes
+    stride = max((r * c for r, c in shapes.values()), default=0) + 1
+    mat_index: dict[str, int] = {}
+    matrices: list[str] = []
+    findings: list[Finding] = []
+    unknown_seen: set[str] = set()
+
+    parts: list[np.ndarray] = []
+    part_code: list[int] = []
+    part_pos: list[int] = []
+
+    def add(region: Region, code: int, pos: int) -> bool:
+        mi = mat_index.get(region.matrix)
+        if mi is None:
+            if region.matrix not in shapes:
+                if region.matrix not in unknown_seen:
+                    unknown_seen.add(region.matrix)
+                    findings.append(
+                        Finding(
+                            code="RPS106",
+                            message=f"step references unknown matrix {region.matrix!r}",
+                            op_index=pos,
+                            context={"matrix": region.matrix},
+                        )
+                    )
+                return False
+            mi = len(matrices)
+            mat_index[region.matrix] = mi
+            matrices.append(region.matrix)
+        parts.append(region.flat + mi * stride)
+        part_code.append(code)
+        part_pos.append(pos)
+        return True
+
+    n_steps = len(schedule.steps)
+    for pos, step in enumerate(schedule.steps):
+        if isinstance(step, LoadStep):
+            add(step.region, _LOAD, pos)
+        elif isinstance(step, EvictStep):
+            add(step.region, _EVICT_WB if step.writeback else _EVICT, pos)
+        elif isinstance(step, ComputeStep):
+            writes = list(step.op.writes())
+            for region in step.op.reads():
+                # an accumulator read is subsumed by its write event
+                # (same residency requirement, and WRITE also marks dirty)
+                if not any(region is w for w in writes):
+                    add(region, _USE, pos)
+            for region in writes:
+                add(region, _WRITE, pos)
+
+    stats = {"loads": 0, "stores": 0, "peak_occupancy": 0, "n_steps": n_steps}
+    if not parts:
+        return Certificate(findings=sort_findings(findings), stats=stats)
+
+    sizes = np.fromiter((p.size for p in parts), dtype=np.int64, count=len(parts))
+    gid = np.concatenate(parts)
+    if len(matrices) * stride <= np.iinfo(np.int32).max:
+        gid = gid.astype(np.int32, copy=False)  # halves sort/gather traffic
+    code = np.repeat(np.asarray(part_code, dtype=np.int8), sizes)
+    pos_ = np.repeat(np.asarray(part_pos, dtype=np.int32), sizes)
+
+    # Per-element event chains: stable sort by element id keeps step order
+    # inside each chain, so "previous event of the same element" is just
+    # the previous row (or the ABSENT sentinel at a chain head).
+    order = np.argsort(gid, kind="stable")
+    gid, code, pos_ = gid[order], code[order], pos_[order]
+    first = np.empty(gid.size, dtype=bool)
+    first[0] = True
+    first[1:] = gid[1:] != gid[:-1]
+    prev = np.empty_like(code)
+    prev[0] = _ABSENT
+    prev[1:] = code[:-1]
+    prev[first] = _ABSENT
+
+    prev_in = prev <= _WRITE
+    is_load = code == _LOAD
+    is_touch = (code == _USE) | (code == _WRITE)
+    is_evict = code >= _EVICT
+
+    stats["loads"] = int(is_load.sum())
+    stats["stores"] = int((code == _EVICT_WB).sum())
+
+    def report(mask: np.ndarray, fcode: str, fmt) -> None:
+        if not mask.any():
+            return
+        at = np.unique(pos_[mask])
+        hits = np.flatnonzero(mask)
+        hit_pos = pos_[hits]
+        for p in at.tolist():
+            sel = hits[hit_pos == p]
+            g = int(gid[sel[0]])
+            matrix, flat = matrices[g // stride], g % stride
+            findings.append(
+                Finding(
+                    code=fcode,
+                    message=fmt(int(sel.size), matrix),
+                    op_index=int(p),
+                    context={
+                        "elements": int(sel.size),
+                        "example": [matrix, int(flat)],
+                    },
+                )
+            )
+
+    if not allow_redundant_loads:
+        report(
+            is_load & prev_in,
+            "RPS102",
+            lambda n, m: f"redundant load of {n} resident element(s) of {m!r}",
+        )
+    report(
+        is_touch & ~prev_in,
+        "RPS101",
+        lambda n, m: f"compute touches {n} non-resident element(s) of {m!r}",
+    )
+    report(
+        is_evict & ~prev_in,
+        "RPS103",
+        lambda n, m: f"evict of {n} non-resident element(s) of {m!r}",
+    )
+    report(
+        is_evict & (prev == _LOAD),
+        "RPS201",
+        lambda n, m: f"dead evict: {n} element(s) of {m!r} loaded but never touched",
+    )
+
+    # Store-of-clean: a writeback evict whose element saw no WRITE since
+    # its most recent LOAD.  One *global* cummax suffices: rows are in
+    # chain-major order, so the most recent LOAD/WRITE row before a
+    # writeback is the writeback's own chain's whenever the chain has one
+    # — and the ``prev_in`` guard keeps chains that don't (their heads are
+    # already RPS101/RPS103 errors) out of this warning.  Encoding the
+    # event in the mark's low bit turns "write after load?" into a parity
+    # test, all in int32.
+    idx_dtype = np.int32 if gid.size < 2**30 else np.int64
+    idx2 = np.arange(gid.size, dtype=idx_dtype) << 1
+    is_write = code == _WRITE
+    marks = np.where(is_load | is_write, idx2 + is_write, 0)
+    dirty = (np.maximum.accumulate(marks) & 1).astype(bool)
+    report(
+        (code == _EVICT_WB) & prev_in & ~dirty,
+        "RPS202",
+        lambda n, m: f"writeback of {n} clean element(s) of {m!r} (no write since load)",
+    )
+
+    # Exact occupancy: fresh loads enter, resident evicts leave; everything
+    # erroneous (double loads, phantom evicts) is already flagged above and
+    # charged conservatively (a double load occupies nothing new).
+    delta = np.bincount(
+        pos_[is_load & ~prev_in], minlength=n_steps
+    ) - np.bincount(pos_[is_evict & prev_in], minlength=n_steps)
+    occ = np.cumsum(delta)
+    peak = int(occ.max(initial=0))
+    stats["peak_occupancy"] = peak
+    over = occ > capacity
+    if over.any():
+        p = int(np.argmax(over))
+        findings.append(
+            Finding(
+                code="RPS104",
+                message=(
+                    f"load pushes occupancy to {int(occ[p])} beyond "
+                    f"capacity {capacity}"
+                ),
+                op_index=p,
+                context={"occupancy": int(occ[p]), "capacity": capacity, "peak": peak},
+            )
+        )
+
+    if require_empty_end:
+        last = np.empty(gid.size, dtype=bool)
+        last[-1] = True
+        last[:-1] = first[1:]
+        residual = int((last & (code <= _WRITE)).sum())
+        if residual:
+            g = int(gid[np.flatnonzero(last & (code <= _WRITE))[0]])
+            findings.append(
+                Finding(
+                    code="RPS105",
+                    message=(
+                        f"fast memory not empty at end of schedule "
+                        f"({residual} resident)"
+                    ),
+                    op_index=n_steps - 1,
+                    context={
+                        "resident": residual,
+                        "example": [matrices[g // stride], int(g % stride)],
+                    },
+                )
+            )
+
+    return Certificate(findings=sort_findings(findings), stats=stats)

@@ -1,0 +1,219 @@
+"""Cross-shard race detection via vector clocks over the dependence DAG.
+
+Given a dependency graph, an ``owner`` map (op -> shard) and an execution
+order, :func:`check_races` rebuilds the happens-before relation a real
+p-node execution would have:
+
+* **program order** — ops on the same shard execute in their order
+  positions, so consecutive same-shard ops are ordered;
+* **transfer edges** — every cross-shard *data-carrying* edge (RAW always;
+  reduction edges unless ``relax_reductions``) implies a send/receive
+  pair, which synchronizes the two shards.
+
+Each op gets a vector clock over the p shards (the classic FastTrack-style
+construction, vectorized per op): the clock joins the previous same-shard
+op's clock with every synchronizing predecessor's, then ticks its own
+shard component.  ``u`` happened-before ``v`` iff ``VC[v][owner[u]] >=
+tick(u)``.  Any dependence pair left unordered under that relation is a
+race:
+
+* same-shard (or any) edge whose endpoints appear inverted in the
+  execution order                                      -> RPR101
+* cross-shard RAW pair not covered by a transfer        -> RPR102
+* cross-shard WAR / WAW pair with no ordering path      -> RPR103 / RPR104
+* two members of one commuting-reduction class placed on different shards
+  with no ordering either way under ``relax_reductions`` -> RPR105
+  (the partial sums can never be combined deterministically)
+
+By default the transfer set is derived from the graph itself (every
+cross-shard data edge is assumed shipped, which is exactly what
+``parallel.executor`` charges); pass an explicit ``transfers`` list to
+audit a concrete transfer plan — a dropped transfer then surfaces as the
+RPR102 it causes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..graph.dependency import DependencyGraph
+from ..obs.probe import get_probe, timed
+from .findings import Finding, sort_findings
+
+
+def check_races(
+    graph: DependencyGraph,
+    owner: Sequence[int],
+    *,
+    order: Sequence[int] | None = None,
+    relax_reductions: bool = False,
+    transfers: Iterable[tuple[int, int]] | None = None,
+) -> list[Finding]:
+    """Flag every dependence pair the (order, owner) placement leaves unordered."""
+    with timed("check.races"):
+        findings = _check_races(
+            graph,
+            owner,
+            order=order,
+            relax_reductions=relax_reductions,
+            transfers=transfers,
+        )
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("check.races.runs")
+        probe.count("check.races.findings", len(findings))
+    return findings
+
+
+def _check_races(
+    graph: DependencyGraph,
+    owner: Sequence[int],
+    *,
+    order: Sequence[int] | None,
+    relax_reductions: bool,
+    transfers: Iterable[tuple[int, int]] | None,
+) -> list[Finding]:
+    n = len(graph)
+    if len(owner) != n:
+        raise ValueError(f"owner has {len(owner)} entries for {n} ops")
+    p = (max(owner) + 1) if n else 1
+
+    if order is None:
+        order = range(n)
+    pos = np.empty(n, dtype=np.int64)
+    pos[np.asarray(list(order), dtype=np.int64)] = np.arange(n, dtype=np.int64)
+
+    findings: list[Finding] = []
+
+    # 1. Execution order must respect every kept dependence edge (reduction
+    #    edges are exempt only when relaxed).
+    for u, v, kinds in graph.edges():
+        if relax_reductions and kinds == {"reduction"}:
+            continue
+        if pos[u] > pos[v]:
+            findings.append(
+                Finding(
+                    code="RPR101",
+                    message=(
+                        f"op {v} ({graph.nodes[v].op.name}) runs at position "
+                        f"{int(pos[v])} before its {'/'.join(sorted(kinds))} "
+                        f"predecessor op {u} at position {int(pos[u])}"
+                    ),
+                    op_index=v,
+                    context={
+                        "pred": u,
+                        "kinds": sorted(kinds),
+                        "positions": [int(pos[u]), int(pos[v])],
+                    },
+                )
+            )
+
+    # 2. Synchronization set: which predecessor edges carry data (and hence
+    #    a transfer when cut).  An explicit transfer plan overrides the
+    #    derived all-data-edges-shipped default for *cross-shard* pairs.
+    def is_sync_kind(kinds: frozenset[str]) -> bool:
+        if "raw" in kinds:
+            return True
+        return "reduction" in kinds and not relax_reductions
+
+    explicit = None if transfers is None else {(u, v) for u, v in transfers}
+
+    def synchronizes(u: int, v: int, kinds: frozenset[str]) -> bool:
+        if not is_sync_kind(kinds):
+            return False
+        if owner[u] == owner[v]:
+            return True  # program order carries it; no transfer needed
+        return explicit is None or (u, v) in explicit
+
+    # 3. Vector clocks, one sweep in execution order.
+    clock = np.zeros((n, p), dtype=np.int64)
+    tick_of = np.zeros(n, dtype=np.int64)
+    shard_tick = [0] * p
+    last_on_shard = [-1] * p
+    for v in np.argsort(pos, kind="stable").tolist():
+        q = owner[v]
+        prev = last_on_shard[q]
+        vc = clock[prev].copy() if prev >= 0 else np.zeros(p, dtype=np.int64)
+        for u, kinds in graph.preds[v].items():
+            if pos[u] < pos[v] and owner[u] != q and synchronizes(u, v, kinds):
+                np.maximum(vc, clock[u], out=vc)
+        shard_tick[q] += 1
+        vc[q] = shard_tick[q]
+        clock[v] = vc
+        tick_of[v] = shard_tick[q]
+        last_on_shard[q] = v
+
+    def ordered(u: int, v: int) -> bool:
+        """u happened-before v (assumes pos[u] < pos[v] was checked)."""
+        return bool(clock[v, owner[u]] >= tick_of[u])
+
+    # 4. Cross-shard dependence pairs must be covered by happens-before.
+    race_code = {"raw": "RPR102", "war": "RPR103", "waw": "RPR104"}
+    n_edges = 0
+    for u, v, kinds in graph.edges():
+        n_edges += 1
+        if owner[u] == owner[v] or pos[u] > pos[v]:
+            continue  # same shard: program order; inverted: already RPR101
+        if relax_reductions and kinds == {"reduction"}:
+            continue  # handled per reduction class below
+        if ordered(u, v):
+            continue
+        for kind in ("raw", "war", "waw"):
+            if kind in kinds:
+                findings.append(
+                    Finding(
+                        code=race_code[kind],
+                        message=(
+                            f"cross-shard {kind.upper()} pair op {u} (shard "
+                            f"{owner[u]}) -> op {v} (shard {owner[v]}) has no "
+                            f"happens-before path"
+                        ),
+                        op_index=v,
+                        context={"pred": u, "shards": [owner[u], owner[v]]},
+                    )
+                )
+
+    # 5. Relaxed commuting reductions: a class split across shards is only
+    #    legal if *some* ordering still combines the partial sums — i.e.
+    #    every cross-shard member pair must be ordered one way or the other.
+    if relax_reductions:
+        for members in graph.reduction_classes():
+            shards = {owner[u] for u in members}
+            if len(shards) < 2:
+                continue
+            racy = None
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    if owner[u] == owner[v]:
+                        continue
+                    a, b = (u, v) if pos[u] < pos[v] else (v, u)
+                    if not ordered(a, b):
+                        racy = (u, v)
+                        break
+                if racy:
+                    break
+            if racy:
+                findings.append(
+                    Finding(
+                        code="RPR105",
+                        message=(
+                            f"commuting reduction class of {len(members)} ops "
+                            f"split across shards {sorted(shards)} with "
+                            f"unordered members (e.g. ops {racy[0]} and "
+                            f"{racy[1]}) under relax_reductions"
+                        ),
+                        op_index=int(racy[1]),
+                        context={
+                            "class_size": len(members),
+                            "shards": sorted(shards),
+                            "example": [int(racy[0]), int(racy[1])],
+                        },
+                    )
+                )
+
+    probe = get_probe()
+    if probe.enabled:
+        probe.count("check.races.edges", n_edges)
+    return sort_findings(findings)

@@ -73,7 +73,16 @@ class ScheduleError(ReproError):
     Raised by :mod:`repro.sched.validate`, e.g. for an op whose read regions
     were never loaded, or an evict of a region that is not resident at that
     point of the stream.
+
+    Carries the structured :class:`repro.check.findings.Finding` behind the
+    message (when the raiser produced one) as ``finding``, so the CLI and
+    tests can report *which* op broke *which* invariant without parsing
+    the message text.
     """
+
+    def __init__(self, message: str, *, finding=None):
+        super().__init__(message)
+        self.finding = finding
 
 
 class VerificationError(ReproError):

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any
 
+from ..utils.atomic import atomic_write_json
 from ..utils.fmt import Table, banner, format_float
 from ..viz.ascii import CharGrid
 from .probe import RecordingProbe
@@ -56,12 +57,11 @@ def build_report(
 
 
 def save_report(report: dict[str, Any], path_or_file: "str | IO[str]") -> None:
-    """Write a report document as indented JSON."""
+    """Write a report document as indented JSON (atomically for real paths)."""
     if hasattr(path_or_file, "write"):
         json.dump(report, path_or_file, indent=2)
     else:
-        with open(path_or_file, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
+        atomic_write_json(path_or_file, report, indent=2)
 
 
 def load_report(path_or_file: "str | IO[str]") -> dict[str, Any]:

@@ -153,6 +153,7 @@ def export_timeline(
     if hasattr(path_or_file, "write"):
         json.dump(doc, path_or_file)
     else:
-        with open(path_or_file, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh)
+        from ..utils.atomic import atomic_write_json
+
+        atomic_write_json(path_or_file, doc, indent=None)
     return doc

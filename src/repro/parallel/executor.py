@@ -571,10 +571,25 @@ def execute_graph(
         transfer_in[dst] += len(elems)
     # Global conservation (the transfer analogue of the recv/send symmetry
     # check): every transferred element leaves one shard and arrives at one.
+    # The same invariant is re-derived statically — per shard, not just
+    # globally — by repro.check.conservation over any executor summary.
     if sum(transfer_in) != sum(transfer_out):  # pragma: no cover - defensive
-        raise ScheduleError(
+        from ..check.findings import Finding
+
+        message = (
             f"transfer accounting asymmetric: {sum(transfer_in)} received "
             f"vs {sum(transfer_out)} sent"
+        )
+        raise ScheduleError(
+            message,
+            finding=Finding(
+                code="RPC101",
+                message=message,
+                context={
+                    "received": sum(transfer_in),
+                    "sent": sum(transfer_out),
+                },
+            ),
         )
 
     explicit_shards = shard_schedule(source, owner, p) if policy == "explicit" else None

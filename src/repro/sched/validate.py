@@ -12,15 +12,25 @@ rules:
 
 This is the test suite's independent referee: the simulator that produced
 the I/O counts cannot be the only thing asserting the schedule was legal.
+Every raised error carries a structured
+:class:`~repro.check.findings.Finding` (same codes as the static certifier
+:mod:`repro.check.certify`, which proves the same invariants without the
+step-by-step walk and reports *all* violations instead of the first).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..check.findings import Finding
 from ..errors import ScheduleError
 from ..machine.regions import Region, merge_regions
 from .schedule import ComputeStep, EvictStep, LoadStep, Schedule
+
+
+def _fail(code: str, message: str, op_index: int | None = None, **context) -> ScheduleError:
+    finding = Finding(code=code, message=message, op_index=op_index, context=context)
+    return ScheduleError(message, finding=finding)
 
 
 def validate_schedule(
@@ -33,7 +43,8 @@ def validate_schedule(
     """Check every step of ``schedule`` against the model's rules.
 
     Returns summary counters (loads, stores, peak occupancy) on success,
-    raises :class:`ScheduleError` on the first violation.
+    raises :class:`ScheduleError` — with a :class:`Finding` attached as
+    ``.finding`` — on the first violation.
     """
     masks = {name: np.zeros(r * c, dtype=bool) for name, (r, c) in schedule.shapes.items()}
     occupancy = 0
@@ -41,40 +52,57 @@ def validate_schedule(
     loads = 0
     stores = 0
 
-    def mask_for(region: Region) -> np.ndarray:
+    def mask_for(region: Region, pos: int) -> np.ndarray:
         try:
             return masks[region.matrix]
         except KeyError:
-            raise ScheduleError(f"step references unknown matrix {region.matrix!r}") from None
+            raise _fail(
+                "RPS106",
+                f"step references unknown matrix {region.matrix!r}",
+                pos,
+                matrix=region.matrix,
+            ) from None
 
     for pos, step in enumerate(schedule.steps):
         if isinstance(step, LoadStep):
-            mask = mask_for(step.region)
+            mask = mask_for(step.region, pos)
             idx = step.region.flat
             already = mask[idx]
             if already.any() and not allow_redundant_loads:
-                raise ScheduleError(
+                raise _fail(
+                    "RPS102",
                     f"step {pos}: redundant load of {int(already.sum())} resident "
-                    f"element(s) of {step.region.matrix!r}"
+                    f"element(s) of {step.region.matrix!r}",
+                    pos,
+                    elements=int(already.sum()),
+                    matrix=step.region.matrix,
                 )
             fresh = int((~already).sum())
             if occupancy + fresh > capacity:
-                raise ScheduleError(
+                raise _fail(
+                    "RPS104",
                     f"step {pos}: load would push occupancy {occupancy} -> "
-                    f"{occupancy + fresh} beyond capacity {capacity}"
+                    f"{occupancy + fresh} beyond capacity {capacity}",
+                    pos,
+                    occupancy=occupancy + fresh,
+                    capacity=capacity,
                 )
             mask[idx] = True
             occupancy += fresh
             peak = max(peak, occupancy)
             loads += idx.size
         elif isinstance(step, EvictStep):
-            mask = mask_for(step.region)
+            mask = mask_for(step.region, pos)
             idx = step.region.flat
             resident = mask[idx]
             if not resident.all():
-                raise ScheduleError(
+                raise _fail(
+                    "RPS103",
                     f"step {pos}: evict of {int((~resident).sum())} non-resident "
-                    f"element(s) of {step.region.matrix!r}"
+                    f"element(s) of {step.region.matrix!r}",
+                    pos,
+                    elements=int((~resident).sum()),
+                    matrix=step.region.matrix,
                 )
             mask[idx] = False
             occupancy -= int(idx.size)
@@ -82,19 +110,29 @@ def validate_schedule(
                 stores += int(idx.size)
         elif isinstance(step, ComputeStep):
             for region in list(step.op.reads()) + list(step.op.writes()):
-                mask = mask_for(region)
+                mask = mask_for(region, pos)
                 resident = mask[region.flat]
                 if not resident.all():
-                    raise ScheduleError(
+                    raise _fail(
+                        "RPS101",
                         f"step {pos}: compute {step.op.name!r} touches "
                         f"{int((~resident).sum())} non-resident element(s) of "
-                        f"{region.matrix!r}"
+                        f"{region.matrix!r}",
+                        pos,
+                        elements=int((~resident).sum()),
+                        matrix=region.matrix,
+                        op=step.op.name,
                     )
         else:  # pragma: no cover - defensive
             raise ScheduleError(f"step {pos}: unknown step type {type(step).__name__}")
 
     if require_empty_end and occupancy != 0:
-        raise ScheduleError(f"fast memory not empty at end of schedule ({occupancy} resident)")
+        raise _fail(
+            "RPS105",
+            f"fast memory not empty at end of schedule ({occupancy} resident)",
+            len(schedule.steps) - 1 if schedule.steps else None,
+            resident=occupancy,
+        )
     return {"loads": loads, "stores": stores, "peak_occupancy": peak}
 
 

@@ -179,10 +179,15 @@ class ScheduleService:
         *,
         searcher: Callable[[ScheduleKey], Schedule] | None = None,
         workers: int = 0,
+        verify_store: bool = False,
     ):
         self.store = store
         self.cache = cache
         self.searcher = searcher
+        #: statically certify every schedule fetched from disk before
+        #: serving it (see :meth:`ScheduleStore.get`); an invalid object
+        #: is a miss and the fall-through search repairs it.
+        self.verify_store = verify_store
         self._pool = SearchPool(workers) if workers > 0 else None
         self._inflight: dict[str, asyncio.Future] = {}
         self.requests = 0
@@ -228,10 +233,13 @@ class ScheduleService:
         self._inflight[digest] = task
         return await asyncio.shield(task)
 
+    def _store_get(self, key: ScheduleKey) -> Schedule | None:
+        return self.store.get(key, verify=self.verify_store)
+
     async def _fill(self, key: ScheduleKey, digest: str) -> Schedule:
         loop = asyncio.get_running_loop()
         try:
-            schedule = await loop.run_in_executor(None, self.store.get, key)
+            schedule = await loop.run_in_executor(None, self._store_get, key)
             if schedule is not None:
                 self._count("store_hits", "serve.store_hits")
             else:
@@ -261,7 +269,7 @@ class ScheduleService:
             await loop.run_in_executor(
                 None, _search_to_store, (self.store.root, key.as_dict())
             )
-        schedule = await loop.run_in_executor(None, self.store.get, key)
+        schedule = await loop.run_in_executor(None, self._store_get, key)
         if schedule is None:  # pragma: no cover - defensive
             raise ConfigurationError(
                 f"search for {key} completed but left no readable store entry"

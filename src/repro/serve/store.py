@@ -196,13 +196,19 @@ class ScheduleStore:
             probe.count("serve.store.puts")
         return digest
 
-    def get(self, key: ScheduleKey) -> Schedule | None:
+    def get(self, key: ScheduleKey, *, verify: bool = False) -> Schedule | None:
         """The stored schedule for ``key``, or ``None`` (missing/corrupt).
 
         Never raises on a bad object: any failure to open, parse or
         reconstruct the container counts as ``serve.store.corrupt`` and
         reads as a miss, so the caller's fall-through search repairs the
         entry with its next ``put``.
+
+        With ``verify=True`` the loaded schedule is additionally *certified*
+        statically (:func:`repro.check.certify.certify_schedule` at the
+        key's capacity — a linear pass, not a replay) before being served:
+        a corrupt-but-parseable object (a tampered stream, a wrong-capacity
+        write) counts ``serve.store.invalid`` and reads as a miss too.
         """
         path = self.object_path(key)
         if not os.path.exists(path):
@@ -214,6 +220,16 @@ class ScheduleStore:
                 probe = get_probe()
                 if probe.enabled:
                     probe.count("serve.store.corrupt")
+                return None
+        if verify:
+            from ..check.certify import certify_schedule
+
+            with timed("serve.store.verify"):
+                certificate = certify_schedule(schedule, key.s)
+            if not certificate.ok:
+                probe = get_probe()
+                if probe.enabled:
+                    probe.count("serve.store.invalid")
                 return None
         return schedule
 

@@ -1,0 +1,39 @@
+"""Atomic text/JSON file writes: temp sibling + ``os.replace``.
+
+The same discipline ``trace/io.py`` applies to ``.npz`` containers,
+for the repository's JSON artifacts (run reports, timelines, bench
+payloads, store stats): serialize fully, write to a same-directory temp
+file, then rename over the destination.  A reader can never observe a
+torn file, and a crash mid-write leaves the previous version intact —
+the lint rule RPL101 (``repro.check.lint``) enforces that every artifact
+writer goes through here or ``trace/io.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any
+
+
+def atomic_write_text(path: str | os.PathLike, text: str, *, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp sibling + ``os.replace``)."""
+    dest = os.fspath(path)
+    tmp = f"{dest}.{os.getpid()}.{threading.get_ident()}.tmp"
+    try:
+        with open(tmp, "w", encoding=encoding) as fh:
+            fh.write(text)
+        os.replace(tmp, dest)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def atomic_write_json(path: str | os.PathLike, payload: Any, *, indent: int | None = 2) -> None:
+    """Serialize ``payload`` fully, then write it atomically.
+
+    Serialization happens before any byte reaches disk, so a payload that
+    does not serialize leaves the destination untouched too.
+    """
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

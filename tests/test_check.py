@@ -1,0 +1,388 @@
+"""The static analyzers (repro.check): certifier, races, conservation, CLI.
+
+The load-bearing property: the *static* certifier's verdict agrees with
+the *dynamic* validator on every schedule — clean schedules (recorded,
+rescheduled, searched) certify clean with identical counters, and every
+seeded mutation is flagged with the same code at the same op the dynamic
+replay fails at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    Certificate,
+    Finding,
+    certify_schedule,
+    check_conservation,
+    check_races,
+    check_summary,
+    has_errors,
+)
+from repro.check.conservation import derived_transfer_totals
+from repro.errors import ScheduleError
+from repro.graph.compare import record_case
+from repro.graph.dependency import DependencyGraph
+from repro.graph.rewriter import reschedule, rewrite_schedule
+from repro.graph.search import anneal_search
+from repro.machine.regions import Region
+from repro.obs import probe_scope
+from repro.parallel.executor import execute_graph, partition_graph
+from repro.sched.schedule import EvictStep, LoadStep, Schedule
+from repro.sched.validate import validate_schedule
+
+KERNELS = ("tbs", "ocs", "syr2k", "chol")
+N, M, S = 20, 4, 15
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return {k: record_case(k, N, M, S) for k in KERNELS}
+
+
+def _region(matrix, idx):
+    return Region(matrix, np.asarray(idx, dtype=np.int64))
+
+
+def _tiny(steps, shapes=None):
+    return Schedule(steps=list(steps), shapes=shapes or {"A": (2, 2)})
+
+
+# --------------------------------------------------------------------- #
+# certifier vs validator: agreement on clean schedules
+# --------------------------------------------------------------------- #
+class TestCleanAgreement:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_recorded_schedules_certify_clean(self, cases, kernel):
+        case = cases[kernel]
+        cert = certify_schedule(case.schedule, case.capacity)
+        ref = validate_schedule(case.schedule, case.capacity)
+        assert cert.ok and not cert.findings
+        for key in ("loads", "stores", "peak_occupancy"):
+            assert cert.stats[key] == ref[key]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_rescheduled_schedules_certify_clean(self, cases, kernel):
+        case = cases[kernel]
+        result = reschedule(case.trace, case.capacity, "locality")
+        cert = certify_schedule(result.schedule, case.capacity)
+        assert cert.ok
+        assert cert.stats["loads"] == result.summary["loads"]
+        assert cert.stats["peak_occupancy"] == result.summary["peak_occupancy"]
+
+    def test_searched_schedule_certifies_clean(self, cases):
+        case = cases["tbs"]
+        graph = DependencyGraph.from_trace(case.trace)
+        found = anneal_search(
+            graph, case.capacity, iters=60, seed=0, relax_reductions=True
+        )
+        result = rewrite_schedule(
+            case.trace, case.capacity, found.order,
+            graph=graph, relax_reductions=True,
+        )
+        cert = certify_schedule(result.schedule, case.capacity)
+        assert cert.ok
+        assert cert.stats["loads"] == result.summary["loads"]
+
+
+# --------------------------------------------------------------------- #
+# the seeded mutation suite (satellite): each injection is flagged with
+# the code the dynamic validator fails with, at the same op
+# --------------------------------------------------------------------- #
+def _validator_verdict(schedule, capacity) -> Finding:
+    with pytest.raises(ScheduleError) as err:
+        validate_schedule(schedule, capacity)
+    finding = err.value.finding
+    assert finding is not None, "validator error lost its Finding"
+    return finding
+
+
+class TestMutations:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_dropped_load(self, cases, kernel):
+        case = cases[kernel]
+        i = next(
+            i for i, s in enumerate(case.schedule.steps) if isinstance(s, LoadStep)
+        )
+        mutated = Schedule(
+            steps=[s for j, s in enumerate(case.schedule.steps) if j != i],
+            shapes=case.schedule.shapes,
+        )
+        expected = _validator_verdict(mutated, case.capacity)
+        cert = certify_schedule(mutated, case.capacity)
+        assert not cert.ok
+        assert (expected.code, expected.op_index) in {
+            (f.code, f.op_index) for f in cert.findings
+        }
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_inflated_residency(self, cases, kernel):
+        """Certifying below the recorded peak is the capacity proof failing."""
+        case = cases[kernel]
+        peak = validate_schedule(case.schedule, case.capacity)["peak_occupancy"]
+        expected = _validator_verdict(case.schedule, peak - 1)
+        cert = certify_schedule(case.schedule, peak - 1)
+        assert not cert.ok
+        assert expected.code == "RPS104"
+        assert (expected.code, expected.op_index) in {
+            (f.code, f.op_index) for f in cert.findings
+        }
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_dropped_evict(self, cases, kernel):
+        case = cases[kernel]
+        i = next(
+            i for i, s in enumerate(case.schedule.steps) if isinstance(s, EvictStep)
+        )
+        mutated = Schedule(
+            steps=[s for j, s in enumerate(case.schedule.steps) if j != i],
+            shapes=case.schedule.shapes,
+        )
+        expected = _validator_verdict(mutated, case.capacity)
+        cert = certify_schedule(mutated, case.capacity)
+        assert not cert.ok
+        assert (expected.code, expected.op_index) in {
+            (f.code, f.op_index) for f in cert.findings
+        }
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_raw_violating_reorder(self, cases, kernel):
+        """Swapping an op before its predecessor is an order violation."""
+        graph = DependencyGraph.from_trace(cases[kernel].trace)
+        u, v, kinds = graph.edges()[0]
+        order = list(range(len(graph)))
+        order[u], order[v] = order[v], order[u]
+        assert not graph.is_valid_order(order)
+        findings = check_races(graph, [0] * len(graph), order=order)
+        flagged = [f for f in findings if f.code == "RPR101"]
+        assert flagged
+        assert any(
+            f.op_index == v and f.context["pred"] == u for f in flagged
+        )
+        # the untouched order is race-free on one shard
+        assert not check_races(graph, [0] * len(graph))
+
+    @pytest.mark.parametrize("kernel", ("tbs", "ocs", "syr2k"))
+    def test_split_reduction_across_shards(self, cases, kernel):
+        graph = DependencyGraph.from_trace(cases[kernel].trace)
+        classes = graph.reduction_classes()
+        assert classes, "kernel has no commuting reduction classes"
+        members = max(classes, key=len)
+        owner = [0] * len(graph)
+        owner[members[0]] = 1
+        relaxed = check_races(graph, owner, relax_reductions=True)
+        assert any(f.code == "RPR105" for f in relaxed)
+        # unrelaxed, the reduction edges are transfers: ordered, no race
+        strict = check_races(graph, owner, relax_reductions=False)
+        assert not any(f.code == "RPR105" for f in strict)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_asymmetric_transfer(self, cases, kernel):
+        graph = DependencyGraph.from_trace(cases[kernel].trace)
+        owner = partition_graph(graph, 4, "level-greedy")
+        t_in, t_out = derived_transfer_totals(graph, owner)
+        assert not check_conservation(
+            graph, owner, transfer_in=t_in, transfer_out=t_out
+        )
+        t_in = list(t_in)
+        t_in[0] += 5  # receive 5 elements nobody sent
+        findings = check_conservation(
+            graph, owner, transfer_in=t_in, transfer_out=t_out
+        )
+        assert {f.code for f in findings} == {"RPC101"}
+
+
+# --------------------------------------------------------------------- #
+# certifier stream rules on hand-built schedules
+# --------------------------------------------------------------------- #
+class TestStreamRules:
+    def test_use_before_load(self):
+        cert = certify_schedule(
+            _tiny([EvictStep(_region("A", [0]), writeback=False)]), 4
+        )
+        assert [f.code for f in cert.findings] == ["RPS103"]
+        assert cert.findings[0].op_index == 0
+
+    def test_double_load(self):
+        steps = [
+            LoadStep(_region("A", [0, 1])),
+            LoadStep(_region("A", [1])),
+            EvictStep(_region("A", [0, 1]), writeback=False),
+        ]
+        cert = certify_schedule(_tiny(steps), 4)
+        codes = [f.code for f in cert.findings]
+        assert "RPS102" in codes
+        assert certify_schedule(_tiny(steps), 4, allow_redundant_loads=True).ok
+
+    def test_dead_evict_is_a_warning(self):
+        steps = [
+            LoadStep(_region("A", [0])),
+            EvictStep(_region("A", [0]), writeback=False),
+        ]
+        cert = certify_schedule(_tiny(steps), 4)
+        assert [f.code for f in cert.findings] == ["RPS201"]
+        assert cert.ok  # warnings do not fail certification
+
+    def test_store_of_clean_is_a_warning(self):
+        steps = [
+            LoadStep(_region("A", [0])),
+            EvictStep(_region("A", [0]), writeback=True),
+        ]
+        cert = certify_schedule(_tiny(steps), 4)
+        assert {"RPS201", "RPS202"} == {f.code for f in cert.findings}
+        assert cert.stats["stores"] == 1
+
+    def test_capacity_and_residual(self):
+        steps = [LoadStep(_region("A", [0, 1, 2]))]
+        cert = certify_schedule(_tiny(steps), 2)
+        assert {"RPS104", "RPS105"} == {f.code for f in cert.findings}
+        ok = certify_schedule(_tiny(steps), 3, require_empty_end=False)
+        assert ok.ok and ok.stats["peak_occupancy"] == 3
+
+    def test_unknown_matrix(self):
+        cert = certify_schedule(_tiny([LoadStep(_region("Z", [0]))]), 4)
+        assert [f.code for f in cert.findings] == ["RPS106"]
+
+    def test_empty_schedule(self):
+        cert = certify_schedule(_tiny([]), 4)
+        assert cert.ok and cert.stats["loads"] == 0
+
+
+# --------------------------------------------------------------------- #
+# race detector specifics
+# --------------------------------------------------------------------- #
+class TestRaces:
+    def test_partitioned_kernels_are_race_free(self, cases):
+        for kernel in KERNELS:
+            graph = DependencyGraph.from_trace(cases[kernel].trace)
+            for part in ("level-greedy", "locality", "owner-computes"):
+                owner = partition_graph(graph, 4, part)
+                assert not has_errors(check_races(graph, owner)), (kernel, part)
+
+    def test_dropped_transfer_is_a_raw_race(self, cases):
+        graph = DependencyGraph.from_trace(cases["chol"].trace)
+        owner = partition_graph(graph, 2, "level-greedy")
+        cut_raw = [
+            (u, v)
+            for u, v, kinds in graph.cut_edges(owner, kinds=frozenset({"raw"}))
+        ]
+        assert cut_raw, "partition cuts no RAW edges"
+        # shipping every transfer: clean; shipping none: every cut RAW races
+        full = cut_raw + [
+            (u, v)
+            for u, v, k in graph.cut_edges(owner, kinds=frozenset({"reduction"}))
+        ]
+        assert not has_errors(check_races(graph, owner, transfers=full))
+        findings = check_races(graph, owner, transfers=[])
+        raw_races = {(f.context["pred"], f.op_index)
+                     for f in findings if f.code == "RPR102"}
+        assert raw_races  # at least the directly-unprotected edges surface
+
+    def test_owner_length_mismatch(self, cases):
+        graph = DependencyGraph.from_trace(cases["tbs"].trace)
+        with pytest.raises(ValueError, match="owner has"):
+            check_races(graph, [0])
+
+
+# --------------------------------------------------------------------- #
+# conservation checks against real executor summaries
+# --------------------------------------------------------------------- #
+class TestConservation:
+    def test_executor_summary_audits_clean(self, cases):
+        case = cases["tbs"]
+        for part in ("level-greedy", "owner-computes"):
+            summary = execute_graph(case.schedule, 4, S, partitioner=part)
+            graph = DependencyGraph.from_trace(case.trace)
+            assert not check_summary(graph, summary), part
+
+    def test_multi_writer_violation(self, cases):
+        graph = DependencyGraph.from_trace(cases["tbs"].trace)
+        owner = list(partition_graph(graph, 4, "owner-computes"))
+        writer = next(i for i, n in enumerate(graph.nodes) if n.write_keys)
+        owner[writer] = (owner[writer] + 1) % 4
+        findings = check_conservation(graph, owner, exclusive_writer=True)
+        assert any(f.code == "RPC103" for f in findings)
+
+    def test_receive_floor(self, cases):
+        graph = DependencyGraph.from_trace(cases["tbs"].trace)
+        owner = partition_graph(graph, 2, "level-greedy")
+        findings = check_conservation(graph, owner, recv=[0, 10**9])
+        assert any(
+            f.code == "RPC102" and f.context["shard"] == 0 for f in findings
+        )
+
+
+# --------------------------------------------------------------------- #
+# validator diagnostics (satellite: Finding-carrying ScheduleError)
+# --------------------------------------------------------------------- #
+class TestValidatorFindings:
+    def test_finding_carries_op_index_and_code(self):
+        steps = [
+            LoadStep(_region("A", [0])),
+            LoadStep(_region("A", [0])),
+        ]
+        with pytest.raises(ScheduleError) as err:
+            validate_schedule(_tiny(steps), 4)
+        finding = err.value.finding
+        assert finding.code == "RPS102"
+        assert finding.op_index == 1
+        assert str(finding.op_index) in str(err.value)
+
+    def test_plain_schedule_errors_have_no_finding(self):
+        assert ScheduleError("boom").finding is None
+
+
+# --------------------------------------------------------------------- #
+# observability + CLI
+# --------------------------------------------------------------------- #
+class TestCheckSurface:
+    def test_probe_counters(self, cases):
+        case = cases["tbs"]
+        graph = DependencyGraph.from_trace(case.trace)
+        with probe_scope() as probe:
+            certify_schedule(case.schedule, case.capacity)
+            check_races(graph, [0] * len(graph))
+        assert probe.counters["check.certify.runs"] == 1
+        assert probe.counters["check.certify.steps"] == len(case.schedule.steps)
+        assert probe.counters["check.races.runs"] == 1
+        assert probe.timers["check.certify"]["calls"] == 1
+
+    def test_certificate_is_reusable(self, cases):
+        cert = certify_schedule(cases["tbs"].schedule, S)
+        assert isinstance(cert, Certificate)
+        assert cert.stats["n_steps"] == len(cases["tbs"].schedule.steps)
+
+    def test_cli_kernel_mode(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["check", "--kernel", "tbs", "--n", "16", "--m", "4",
+                   "--s", "15", "--p", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: 0 finding(s)" in out
+
+    def test_cli_artifact_mode(self, tmp_path, cases, capsys):
+        from repro.__main__ import main
+        from repro.trace.io import save_schedule
+
+        path = str(tmp_path / "sched.npz")
+        save_schedule(cases["tbs"].schedule, path)
+        assert main(["check", path, "--capacity", str(S)]) == 0
+        assert main(["check", path, "--capacity", str(S - 1),
+                     "--format", "json"]) == 1
+        out = capsys.readouterr().out
+        assert '"RPS104"' in out
+
+    def test_cli_store_mode(self, tmp_path, cases, capsys):
+        from repro.__main__ import main
+        from repro.serve.store import ScheduleKey, ScheduleStore
+
+        store = ScheduleStore(str(tmp_path / "store"))
+        key = ScheduleKey("tbs", N, M, S)
+        store.put(key, cases["tbs"].schedule)
+        assert main(["check", "--store", store.root, "--all"]) == 0
+        assert main(["check", "--store", store.root,
+                     "--digest", key.digest()]) == 0
+        capsys.readouterr()
